@@ -1,0 +1,118 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (E1-E9 + ablations, via the Experiments library) and runs the
+   E10 Bechamel micro-benchmarks comparing paged records against boxed
+   OCaml values.
+
+   Usage:  main.exe [table2|fig4a|table3|fig4bc|gps|objects|speed|headers|
+                     ablation|micro|all] [--quick]                         *)
+
+open Bechamel
+open Toolkit
+
+(* ---------- E10: micro-benchmarks on the real page store ---------- *)
+
+type boxed = {
+  mutable fx : float;
+  mutable fn : int;
+}
+
+let micro_tests () =
+  let store = Pagestore.Store.create () in
+  Pagestore.Store.register_thread store 0;
+  let rec_addr = Pagestore.Store.alloc_record store ~thread:0 ~type_id:1 ~data_bytes:16 in
+  Pagestore.Store.set_f64 store rec_addr ~offset:4 3.14;
+  let boxed = { fx = 3.14; fn = 0 } in
+  let pools = Pagestore.Facade_pool.create ~bounds:[| 2; 2 |] in
+  let locks = Pagestore.Lock_pool.create () in
+  let alloc_count = ref 0 in
+  Pagestore.Store.iteration_start store ~thread:0;
+  let t_boxed_read =
+    Test.make ~name:"boxed-field-read" (Staged.stage (fun () -> boxed.fx))
+  in
+  let t_page_read =
+    Test.make ~name:"page-field-read-f64"
+      (Staged.stage (fun () -> Pagestore.Store.get_f64 store rec_addr ~offset:4))
+  in
+  let t_boxed_write =
+    Test.make ~name:"boxed-field-write"
+      (Staged.stage (fun () -> boxed.fn <- boxed.fn + 1))
+  in
+  let t_page_write =
+    Test.make ~name:"page-field-write-i64"
+      (Staged.stage (fun () -> Pagestore.Store.set_i64 store rec_addr ~offset:8 42))
+  in
+  let t_alloc =
+    Test.make ~name:"page-record-alloc"
+      (Staged.stage (fun () ->
+           incr alloc_count;
+           if !alloc_count land 0xFFFF = 0 then begin
+             (* Recycle periodically, as an iteration boundary would. *)
+             Pagestore.Store.iteration_end store ~thread:0;
+             Pagestore.Store.iteration_start store ~thread:0
+           end;
+           ignore (Pagestore.Store.alloc_record store ~thread:0 ~type_id:1 ~data_bytes:16)))
+  in
+  let t_boxed_alloc =
+    Test.make ~name:"boxed-record-alloc"
+      (Staged.stage (fun () -> ignore (Sys.opaque_identity { fx = 1.0; fn = 2 })))
+  in
+  let f = Pagestore.Facade_pool.param pools ~type_id:1 ~index:0 in
+  let t_facade =
+    Test.make ~name:"facade-bind+read"
+      (Staged.stage (fun () ->
+           Pagestore.Facade_pool.bind f rec_addr;
+           ignore (Pagestore.Facade_pool.read f)))
+  in
+  let t_lock =
+    Test.make ~name:"lock-pool-enter+exit"
+      (Staged.stage (fun () ->
+           Pagestore.Lock_pool.monitor_enter locks store rec_addr ~thread:0;
+           Pagestore.Lock_pool.monitor_exit locks store rec_addr ~thread:0))
+  in
+  [
+    t_boxed_read; t_page_read; t_boxed_write; t_page_write; t_boxed_alloc; t_alloc;
+    t_facade; t_lock;
+  ]
+
+let run_micro () =
+  print_endline "== E10: page store vs boxed values (wall-clock, Bechamel) ==";
+  let tests = Test.make_grouped ~name:"micro" ~fmt:"%s/%s" (micro_tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Metrics.Table.create ~headers:[ "Benchmark"; "ns/op" ] in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+      in
+      Metrics.Table.add_row table [ name; Metrics.Table.cell_float ~decimals:2 est ])
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows);
+  Metrics.Table.print table
+
+(* ---------- entry point ---------- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let named =
+    List.filter (fun a -> a <> "--quick" && a <> Sys.argv.(0)) (List.tl args)
+  in
+  match named with
+  | [] ->
+      ignore (Experiments.Harness.run ~quick Experiments.Harness.All);
+      print_newline ();
+      run_micro ()
+  | [ "micro" ] -> run_micro ()
+  | [ name ] -> (
+      match Experiments.Harness.selection_of_string name with
+      | Some sel -> ignore (Experiments.Harness.run ~quick sel)
+      | None ->
+          Printf.eprintf "unknown experiment %s; one of: %s|micro\n" name
+            (String.concat "|" Experiments.Harness.selection_names);
+          exit 2)
+  | _ ->
+      prerr_endline "usage: main.exe [experiment] [--quick]";
+      exit 2

@@ -1,0 +1,223 @@
+(* The facade command-line interface.
+
+   facade_cli experiments [NAME] [--quick]  - reproduce the paper's tables/figures
+   facade_cli samples                       - list the bundled jir sample programs
+   facade_cli demo NAME                     - transform + run a sample in both modes
+   facade_cli inspect NAME [--original]     - pretty-print a sample (P' by default) *)
+
+open Cmdliner
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use reduced dataset sizes (for CI).")
+
+(* ---------- experiments ---------- *)
+
+let experiments_cmd =
+  let exp_name =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            (Printf.sprintf "One of: %s."
+               (String.concat ", " Experiments.Harness.selection_names)))
+  in
+  let run name quick =
+    match Experiments.Harness.selection_of_string name with
+    | Some sel ->
+        let claims = Experiments.Harness.run ~quick sel in
+        if Metrics.Report.all_hold claims then `Ok () else `Error (false, "some claims diverge")
+    | None -> `Error (true, "unknown experiment " ^ name)
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Reproduce the paper's evaluation tables and figures.")
+    Term.(ret (const run $ exp_name $ quick))
+
+(* ---------- samples ---------- *)
+
+let find_sample name =
+  List.find_opt (fun s -> String.equal s.Samples.name name) Samples.all
+
+let samples_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-12s %d classes, data path: %s\n" s.Samples.name
+          (List.length (Jir.Program.classes s.Samples.program))
+          (String.concat ", " s.Samples.spec.Facade_compiler.Classify.data_roots))
+      Samples.all
+  in
+  Cmd.v
+    (Cmd.info "samples" ~doc:"List the bundled jir sample programs.")
+    Term.(const run $ const ())
+
+(* ---------- demo ---------- *)
+
+let sample_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SAMPLE" ~doc:"Sample name (see $(b,samples)).")
+
+let demo_cmd =
+  let run name =
+    match find_sample name with
+    | None -> `Error (true, "unknown sample " ^ name)
+    | Some s ->
+        let pl =
+          Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program
+        in
+        Printf.printf "transformed %d classes, %d -> %d instructions, %.3fs\n"
+          pl.Facade_compiler.Pipeline.classes_transformed
+          pl.Facade_compiler.Pipeline.instrs_in pl.Facade_compiler.Pipeline.instrs_out
+          pl.Facade_compiler.Pipeline.seconds;
+        let is_data c =
+          Facade_compiler.Classify.is_data_class pl.Facade_compiler.Pipeline.classification c
+        in
+        let o_p = Facade_vm.Interp.run_object ~is_data s.Samples.program in
+        let o_p' = Facade_vm.Interp.run_facade pl in
+        let v o =
+          match o.Facade_vm.Interp.result with
+          | Some x -> Facade_vm.Value.to_string x
+          | None -> "-"
+        in
+        Printf.printf "P : result=%s, data heap objects=%d\n" (v o_p)
+          o_p.Facade_vm.Interp.stats.Facade_vm.Exec_stats.data_objects;
+        Printf.printf "P': result=%s, page records=%d, facades=%d\n" (v o_p')
+          o_p'.Facade_vm.Interp.stats.Facade_vm.Exec_stats.page_records
+          o_p'.Facade_vm.Interp.facades_allocated;
+        if
+          (match o_p.Facade_vm.Interp.result, o_p'.Facade_vm.Interp.result with
+          | Some a, Some b -> Facade_vm.Value.equal_ref a b
+          | None, None -> true
+          | _ -> false)
+        then begin
+          print_endline "results agree";
+          `Ok ()
+        end
+        else `Error (false, "results diverge")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Transform a sample and run P and P' in the VM.")
+    Term.(ret (const run $ sample_arg))
+
+(* ---------- inspect ---------- *)
+
+let inspect_cmd =
+  let original =
+    Arg.(value & flag & info [ "original" ] ~doc:"Print the original program P instead of P'.")
+  in
+  let as_text =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:"Emit the parseable textual format (compose with $(b,transform)).")
+  in
+  let run name original as_text =
+    match find_sample name with
+    | None -> `Error (true, "unknown sample " ^ name)
+    | Some s ->
+        let program =
+          if original then s.Samples.program
+          else
+            (Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program)
+              .Facade_compiler.Pipeline.transformed
+        in
+        if as_text then print_string (Jir.Text_format.to_string program)
+        else print_string (Jir.Pretty.program_to_string program);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Pretty-print a sample program (generated P' by default).")
+    Term.(ret (const run $ sample_arg $ original $ as_text))
+
+(* ---------- transform (file-based workflow) ---------- *)
+
+let transform_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A jir program in the textual format.")
+  in
+  let data_roots =
+    Arg.(
+      required
+      & opt (some (list string)) None
+      & info [ "data" ] ~docv:"CLASSES"
+          ~doc:"Comma-separated data-class roots (the FACADE user's list).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write P' here (default: stdout).")
+  in
+  let run_it =
+    Arg.(value & flag & info [ "run" ] ~doc:"Also execute P and P' in the VM and compare.")
+  in
+  let run input data_roots output run_it =
+    let source = In_channel.with_open_text input In_channel.input_all in
+    match Jir.Text_format.parse source with
+    | exception Jir.Text_format.Parse_error { line; message } ->
+        `Error (false, Printf.sprintf "%s:%d: %s" input line message)
+    | program -> (
+        match Jir.Verify.check_program program with
+        | _ :: _ as errs ->
+            `Error
+              ( false,
+                String.concat "\n"
+                  (List.map
+                     (fun (e : Jir.Verify.error) ->
+                       Printf.sprintf "%s: %s" e.Jir.Verify.where e.Jir.Verify.what)
+                     errs) )
+        | [] -> (
+            let spec = { Facade_compiler.Classify.data_roots; boundary = [] } in
+            match Facade_compiler.Pipeline.compile ~spec program with
+            | exception Facade_compiler.Assumptions.Violated vs ->
+                `Error
+                  ( false,
+                    "closed-world assumption violations:\n"
+                    ^ String.concat "\n"
+                        (List.map
+                           (fun (v : Facade_compiler.Assumptions.violation) ->
+                             Printf.sprintf "  %s: %s" v.Facade_compiler.Assumptions.cls
+                               v.Facade_compiler.Assumptions.detail)
+                           vs) )
+            | pl ->
+                let text =
+                  Jir.Text_format.to_string pl.Facade_compiler.Pipeline.transformed
+                in
+                (match output with
+                | Some path -> Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc text)
+                | None -> print_string text);
+                if run_it then begin
+                  let is_data c =
+                    Facade_compiler.Classify.is_data_class
+                      pl.Facade_compiler.Pipeline.classification c
+                  in
+                  let o_p = Facade_vm.Interp.run_object ~is_data program in
+                  let o_p' = Facade_vm.Interp.run_facade pl in
+                  let v o =
+                    match o.Facade_vm.Interp.result with
+                    | Some x -> Facade_vm.Value.to_string x
+                    | None -> "-"
+                  in
+                  Printf.eprintf "P = %s, P' = %s\n" (v o_p) (v o_p')
+                end;
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Parse a jir source file, apply the FACADE transformation, print P'.")
+    Term.(ret (const run $ input $ data_roots $ output $ run_it))
+
+let () =
+  let info =
+    Cmd.info "facade_cli" ~version:"1.0.0"
+      ~doc:"FACADE (ASPLOS 2015) reproduction: compiler, runtime, and evaluation."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ experiments_cmd; samples_cmd; demo_cmd; inspect_cmd; transform_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_transform.ml: Builder Facade_compiler Facade_vm Ir Jir Jtype List Printf Program String Verify

@@ -1,0 +1,1 @@
+examples/dataflow_wordcount.ml: Array Hyracks List Printf String Workloads

@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: Array Float Graphchi Metrics Printf Workloads

@@ -1,0 +1,1 @@
+examples/pregel_kmeans.ml: Array Float Gps Printf Workloads

@@ -1,0 +1,1 @@
+examples/pregel_kmeans.mli:

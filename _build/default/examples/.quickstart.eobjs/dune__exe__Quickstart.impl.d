@@ -1,0 +1,1 @@
+examples/quickstart.ml: Facade_compiler Facade_vm Format Jir Printf Samples

@@ -1,0 +1,26 @@
+(** The umbrella module: one entry point re-exporting the whole system.
+
+    {2 The paper's contribution}
+    - {!Compiler} — the FACADE transformation pipeline (paper §3)
+    - {!Runtime} — the page store, facade pools, and lock pool (paper §2, §3.6)
+    - {!Vm} — the jir virtual machine running original and generated programs
+
+    {2 Substrates}
+    - {!Ir} — the Java-like intermediate representation (the Jimple stand-in)
+    - {!Heap_simulator} — the managed-heap / generational-GC simulator
+    - {!Graphchi}, {!Hyracks}, {!Gps} — the evaluated Big Data frameworks
+    - {!Workloads} — deterministic dataset generators
+    - {!Experiments} — every table and figure of the paper's evaluation *)
+
+module Ir = Jir
+module Compiler = Facade_compiler
+module Vm = Facade_vm
+module Runtime = Pagestore
+module Heap_simulator = Heapsim
+module Workloads = Workloads
+module Metrics = Metrics
+module Samples = Samples
+module Graphchi = Graphchi
+module Hyracks = Hyracks
+module Gps = Gps
+module Experiments = Experiments

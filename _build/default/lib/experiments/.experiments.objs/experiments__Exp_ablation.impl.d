@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Facade_compiler Graphchi Jir List Metrics Pagestore Printf Samples String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4bc.ml: Exp_table3 Hyracks List Metrics Printf

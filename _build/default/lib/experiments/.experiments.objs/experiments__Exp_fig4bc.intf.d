@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4bc.mli: Exp_table3 Metrics

@@ -1,0 +1,1 @@
+lib/experiments/exp_gps.ml: Float Gps List Metrics Printf Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_headers.ml: Facade_compiler Heapsim Jir List Metrics Pagestore Printf Samples

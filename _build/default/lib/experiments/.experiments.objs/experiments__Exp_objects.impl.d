@@ -1,0 +1,1 @@
+lib/experiments/exp_objects.ml: Facade_compiler Facade_vm Graphchi Metrics Printf Samples Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_speed.ml: Facade_compiler Jir Metrics Printf Samples

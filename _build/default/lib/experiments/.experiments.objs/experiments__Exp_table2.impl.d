@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Graphchi List Metrics Printf String Workloads

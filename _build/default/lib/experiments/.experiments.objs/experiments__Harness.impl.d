@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Exp_ablation Exp_fig4a Exp_fig4bc Exp_gps Exp_headers Exp_objects Exp_speed Exp_table2 Exp_table3 List Metrics Printf String

@@ -1,0 +1,10 @@
+(** Ablations for the design choices DESIGN.md §5 calls out:
+
+    - data-determined loading in P′ (how sub-iteration granularity moves
+      PM′ and ET′);
+    - CHA devirtualization (resolve-call avoidance in the generated code);
+    - the oversize page class with early release (§3.6 optimization 3);
+    - iteration-based page recycling itself (pages created with and
+      without bulk reclamation). *)
+
+val run : ?quick:bool -> unit -> Metrics.Report.claim list

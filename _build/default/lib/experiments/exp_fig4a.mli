@@ -1,0 +1,13 @@
+(** E2 — Figure 4(a): computational throughput (edges/second) of PR and CC,
+    original vs transformed, on graphs scaled from 0.3–1.5 B paper-edges. *)
+
+type point = {
+  graph : string;
+  edges : int;
+  pr : float;    (** throughput, edges/s *)
+  pr' : float;
+  cc : float;
+  cc' : float;
+}
+
+val run : ?quick:bool -> unit -> point list * Metrics.Report.claim list

@@ -1,0 +1,5 @@
+(** E4/E5 — Figures 4(b) and 4(c): peak memory usage of ES and WC across
+    the five Hyracks datasets, original (bars) vs transformed (line).
+    Consumes the rows produced by {!Exp_table3}. *)
+
+val run : Exp_table3.row list -> Metrics.Report.claim list

@@ -1,0 +1,14 @@
+(** E6 — §4.3: GPS with page rank, k-means, and random walk on the
+    LiveJournal graph and its synthetic supergraphs. The paper reports a
+    3–15.4 % run-time reduction, 10–39.8 % GC-time reduction, up to 14.4 %
+    space reduction, GC at only 1–17 % of run time, and parity on the
+    smallest graph. *)
+
+type row = {
+  graph : string;
+  app : string;
+  obj : Gps.Pregel.metrics;
+  fac : Gps.Pregel.metrics;
+}
+
+val run : ?quick:bool -> unit -> row list * Metrics.Report.claim list

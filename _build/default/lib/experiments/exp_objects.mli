@@ -1,0 +1,18 @@
+(** E7 — the object-bound claim (§1.3, §4.1): FACADE reduces the number of
+    heap objects for GraphChi's data types from O(dataset) to a statically
+    bounded population — 14,257,280,923 → 1,363 in the paper (1000 pages +
+    11 facades × (16×2+1) threads).
+
+    Measured twice: at the framework level (the GraphChi analogue's PR run)
+    and at the compiler level (the jir iteration sample executed through
+    the VM in both modes). *)
+
+type counts = {
+  object_mode_data_objects : int;
+  facade_heap_objects : int;  (** pages + facades: the O(t·n + p) bound *)
+  pages : int;
+  facades : int;
+  reduction_factor : float;
+}
+
+val run : ?quick:bool -> unit -> counts * Metrics.Report.claim list

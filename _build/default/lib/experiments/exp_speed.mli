@@ -1,0 +1,14 @@
+(** E8 — transformation speed (§4.1–4.3): the paper transforms 7,753
+    Jimple instructions in 10.3 s (GraphChi), at 990 i/s (Hyracks) and
+    1,102 i/s (GPS); the headline claim is "less than 20 seconds". We
+    synthesize jir programs of comparable instruction counts and measure
+    the pipeline's wall-clock throughput. *)
+
+type result = {
+  instrs : int;
+  seconds : float;
+  instrs_per_second : float;
+  facades_per_thread : int;
+}
+
+val run : ?quick:bool -> unit -> result * Metrics.Report.claim list

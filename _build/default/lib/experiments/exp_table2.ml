@@ -1,0 +1,122 @@
+module E = Graphchi.Psw_engine
+module V = Graphchi.Vertex_program
+
+type row = {
+  label : string;
+  m : E.metrics;
+}
+
+let paper =
+  (* App, budget, (ET, UT, LT, GT, PM) of Table 2. *)
+  [
+    ("PR-8g", (1540.8, 675.5, 786.6, 317.1, 8469.8));
+    ("PR'-8g", (1180.7, 515.3, 584.8, 50.2, 6135.4));
+    ("PR-6g", (1561.2, 694.0, 785.2, 270.1, 6566.5));
+    ("PR'-6g", (1146.2, 518.8, 545.6, 49.3, 6152.6));
+    ("PR-4g", (1663.7, 761.6, 811.5, 380.7, 4448.7));
+    ("PR'-4g", (1159.2, 499.2, 580.0, 50.6, 6127.4));
+    ("CC-8g", (2338.1, 1051.2, 722.7, 218.5, 8398.3));
+    ("CC'-8g", (2207.8, 984.3, 661.0, 50.3, 6051.6));
+    ("CC-6g", (2245.8, 1005.4, 698.2, 179.5, 6557.8));
+    ("CC'-6g", (2143.4, 951.6, 628.2, 49.3, 6045.3));
+    ("CC-4g", (2288.5, 1029.8, 713.7, 197.4, 4427.4));
+    ("CC'-4g", (2120.9, 932.7, 630.4, 50.6, 6057.0));
+  ]
+
+let budgets = [ 8.0; 6.0; 4.0 ]
+
+let run ?(quick = false) () =
+  let g =
+    if quick then Workloads.Graph_gen.twitter_scaled ~seed:42 ~scale:(1.0 /. 5000.0)
+    else Workloads.Datasets.twitter ()
+  in
+  let csr = Graphchi.Sharder.build g in
+  let apps = [ (V.pagerank, 5); (V.connected_components, 4) ] in
+  let rows = ref [] in
+  let emit label m = rows := { label; m } :: !rows in
+  List.iter
+    (fun (prog, iterations) ->
+      List.iter
+        (fun heap_gb ->
+          let base mode = { (E.default_config mode) with E.heap_gb; iterations } in
+          let m_obj = (E.run (base E.Object_mode) csr prog).E.metrics in
+          emit (Printf.sprintf "%s-%gg" prog.V.name heap_gb) m_obj;
+          let m_fac = (E.run (base E.Facade_mode) csr prog).E.metrics in
+          emit (Printf.sprintf "%s'-%gg" prog.V.name heap_gb) m_fac)
+        budgets)
+    apps;
+  let rows = List.rev !rows in
+  let table = Metrics.Table.create ~headers:[ "App"; "ET(s)"; "UT(s)"; "LT(s)"; "GT(s)"; "PM(M)"; "paper ET"; "paper GT"; "paper PM" ] in
+  List.iter
+    (fun r ->
+      let et_p, _, _, gt_p, pm_p =
+        match List.assoc_opt r.label paper with
+        | Some (a, b, c, d, e) -> (a, b, c, d, e)
+        | None -> (0.0, 0.0, 0.0, 0.0, 0.0)
+      in
+      Metrics.Table.add_row table
+        [
+          r.label;
+          Metrics.Table.cell_float r.m.E.et;
+          Metrics.Table.cell_float r.m.E.ut;
+          Metrics.Table.cell_float r.m.E.lt;
+          Metrics.Table.cell_float r.m.E.gt;
+          Metrics.Table.cell_float r.m.E.peak_memory_mb;
+          Metrics.Table.cell_float et_p;
+          Metrics.Table.cell_float gt_p;
+          Metrics.Table.cell_float pm_p;
+        ])
+    rows;
+  print_endline "== E1 / Table 2: GraphChi on twitter-2010 (scaled) ==";
+  Metrics.Table.print table;
+  let find label = (List.find (fun r -> String.equal r.label label) rows).m in
+  let claim = Metrics.Report.claim ~experiment:"Table 2" in
+  let pct a b = 100.0 *. (a -. b) /. a in
+  let all_budget_wins prefix =
+    List.for_all
+      (fun b ->
+        (find (Printf.sprintf "%s-%gg" prefix b)).E.et
+        > (find (Printf.sprintf "%s'-%gg" prefix b)).E.et)
+      budgets
+  in
+  let pr8 = find "PR-8g" and pr8' = find "PR'-8g" in
+  let claims =
+    [
+      claim ~description:"P' outperforms P for all configurations"
+        ~paper_value:"all 12 rows"
+        ~measured:(if all_budget_wins "PR" && all_budget_wins "CC" then "all rows" else "some rows lose")
+        ~holds:(all_budget_wins "PR" && all_budget_wins "CC");
+      claim ~description:"PR' ET reduction at 8g" ~paper_value:"23.4%"
+        ~measured:(Printf.sprintf "%.1f%%" (pct pr8.E.et pr8'.E.et))
+        ~holds:(pct pr8.E.et pr8'.E.et > 10.0 && pct pr8.E.et pr8'.E.et < 45.0);
+      claim ~description:"large GC reduction (avg 5.1x for GraphChi)"
+        ~paper_value:"317s -> 50s at 8g"
+        ~measured:(Printf.sprintf "%.0fs -> %.1fs" pr8.E.gt pr8'.E.gt)
+        ~holds:(pr8.E.gt > 4.0 *. pr8'.E.gt);
+      claim ~description:"P's PM tracks the budget; P''s PM is stable"
+        ~paper_value:"8470/6567/4449 vs ~6.1G"
+        ~measured:
+          (Printf.sprintf "%.0f/%.0f/%.0f vs %.0f/%.0f/%.0f"
+             (find "PR-8g").E.peak_memory_mb (find "PR-6g").E.peak_memory_mb
+             (find "PR-4g").E.peak_memory_mb (find "PR'-8g").E.peak_memory_mb
+             (find "PR'-6g").E.peak_memory_mb (find "PR'-4g").E.peak_memory_mb)
+        ~holds:
+          ((find "PR-8g").E.peak_memory_mb > (find "PR-6g").E.peak_memory_mb
+          && (find "PR-6g").E.peak_memory_mb > (find "PR-4g").E.peak_memory_mb);
+      claim ~description:"P consumes less memory than P' under the 4g budget"
+        ~paper_value:"4449 < 6127"
+        ~measured:
+          (Printf.sprintf "%.0f vs %.0f" (find "PR-4g").E.peak_memory_mb
+             (find "PR'-4g").E.peak_memory_mb)
+        ~holds:((find "PR-4g").E.peak_memory_mb < (find "PR'-4g").E.peak_memory_mb);
+      claim ~description:"CC gains are smaller than PR gains"
+        ~paper_value:"5.6% vs 23.4%"
+        ~measured:
+          (Printf.sprintf "%.1f%% vs %.1f%%"
+             (pct (find "CC-8g").E.et (find "CC'-8g").E.et)
+             (pct pr8.E.et pr8'.E.et))
+        ~holds:
+          (pct (find "CC-8g").E.et (find "CC'-8g").E.et < pct pr8.E.et pr8'.E.et);
+    ]
+  in
+  (rows, claims)

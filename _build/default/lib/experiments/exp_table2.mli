@@ -1,0 +1,12 @@
+(** E1 — Table 2: GraphChi PR and CC on the scaled twitter-2010 graph
+    under 8/6/4 (scaled) GB memory budgets; reports ET, UT, LT, GT, PM for
+    the original (P) and transformed (P′) runs. *)
+
+type row = {
+  label : string;  (** e.g. "PR-8g" or "PR'-8g" *)
+  m : Graphchi.Psw_engine.metrics;
+}
+
+val run : ?quick:bool -> unit -> row list * Metrics.Report.claim list
+(** Prints the table; returns rows and the paper-shape claims. [quick]
+    uses a smaller graph (for tests). *)

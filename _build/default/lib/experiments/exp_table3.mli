@@ -1,0 +1,14 @@
+(** E3 — Table 3 (plus the memory series of Figures 4(b) and 4(c)):
+    Hyracks ES and WC across the 3/5/10/14/19 (scaled) GB datasets.
+    [OME(n)] rows mark out-of-memory deaths at simulated second [n]. *)
+
+type row = {
+  paper_gb : int;
+  es : Hyracks.Engine.metrics;
+  es' : Hyracks.Engine.metrics;
+  wc : Hyracks.Engine.metrics;
+  wc' : Hyracks.Engine.metrics;
+}
+
+val run : ?quick:bool -> unit -> row list * Metrics.Report.claim list
+(** Prints Table 3; the rows also feed {!Exp_fig4bc}. *)

@@ -1,0 +1,58 @@
+type selection =
+  | All
+  | Table2
+  | Fig4a
+  | Table3
+  | Fig4bc
+  | Gps
+  | Objects
+  | Speed
+  | Headers
+  | Ablation
+
+let names =
+  [
+    ("all", All);
+    ("table2", Table2);
+    ("fig4a", Fig4a);
+    ("table3", Table3);
+    ("fig4bc", Fig4bc);
+    ("gps", Gps);
+    ("objects", Objects);
+    ("speed", Speed);
+    ("headers", Headers);
+    ("ablation", Ablation);
+  ]
+
+let selection_of_string s = List.assoc_opt (String.lowercase_ascii s) names
+let selection_names = List.map fst names
+
+let run ?(quick = false) selection =
+  let claims = ref [] in
+  let add cs = claims := !claims @ cs in
+  let wants x = selection = All || selection = x in
+  if wants Table2 then add (snd (Exp_table2.run ~quick ()));
+  if wants Fig4a then add (snd (Exp_fig4a.run ~quick ()));
+  let table3_rows = ref None in
+  if wants Table3 || wants Fig4bc then begin
+    let rows, cs = Exp_table3.run ~quick () in
+    table3_rows := Some rows;
+    if wants Table3 then add cs
+  end;
+  if wants Fig4bc then begin
+    match !table3_rows with
+    | Some rows -> add (Exp_fig4bc.run rows)
+    | None -> ()
+  end;
+  if wants Gps then add (snd (Exp_gps.run ~quick ()));
+  if wants Objects then add (snd (Exp_objects.run ~quick ()));
+  if wants Speed then add (snd (Exp_speed.run ~quick ()));
+  if wants Headers then add (snd (Exp_headers.run ()));
+  if wants Ablation then add (Exp_ablation.run ~quick ());
+  print_newline ();
+  print_endline "== Paper-vs-measured verdicts ==";
+  print_string (Metrics.Report.render !claims);
+  Printf.printf "\n%d/%d claims hold\n"
+    (List.length (List.filter (fun c -> c.Metrics.Report.holds) !claims))
+    (List.length !claims);
+  !claims

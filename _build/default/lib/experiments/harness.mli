@@ -1,0 +1,22 @@
+(** The top-level experiment harness: runs every table and figure of the
+    paper's evaluation (DESIGN.md's E1–E9 plus the ablations) and prints a
+    final paper-vs-measured verdict table. *)
+
+type selection =
+  | All
+  | Table2
+  | Fig4a
+  | Table3
+  | Fig4bc
+  | Gps
+  | Objects
+  | Speed
+  | Headers
+  | Ablation
+
+val selection_of_string : string -> selection option
+val selection_names : string list
+
+val run : ?quick:bool -> selection -> Metrics.Report.claim list
+(** Prints each experiment's output as it runs, then the claims table;
+    returns the claims. *)

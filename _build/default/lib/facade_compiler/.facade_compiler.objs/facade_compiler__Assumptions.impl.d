@@ -1,0 +1,1 @@
+lib/facade_compiler/assumptions.ml: Classify Hierarchy Ir Jir Jtype List Printf Program

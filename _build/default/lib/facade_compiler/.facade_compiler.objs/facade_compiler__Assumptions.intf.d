@@ -1,0 +1,1 @@
+lib/facade_compiler/assumptions.mli: Classify Jir

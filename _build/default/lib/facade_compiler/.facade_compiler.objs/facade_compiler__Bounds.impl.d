@@ -1,0 +1,1 @@
+lib/facade_compiler/bounds.ml: Array Classify Hashtbl Hierarchy Ir Jir Jtype Layout List Option Program

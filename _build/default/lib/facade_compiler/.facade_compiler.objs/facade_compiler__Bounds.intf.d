@@ -1,0 +1,1 @@
+lib/facade_compiler/bounds.mli: Classify Jir Layout

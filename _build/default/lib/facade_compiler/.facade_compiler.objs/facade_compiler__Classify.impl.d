@@ -1,0 +1,1 @@
+lib/facade_compiler/classify.ml: Hashtbl Hierarchy Ir Jir Jtype List Program Queue String

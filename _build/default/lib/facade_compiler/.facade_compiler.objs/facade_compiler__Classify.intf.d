@@ -1,0 +1,1 @@
+lib/facade_compiler/classify.mli: Hashtbl Jir

@@ -1,0 +1,1 @@
+lib/facade_compiler/layout.ml: Classify Hashtbl Hierarchy Ir Jir Jtype List Pagestore Program String

@@ -1,0 +1,1 @@
+lib/facade_compiler/layout.mli: Classify Jir

@@ -1,0 +1,1 @@
+lib/facade_compiler/optimize.ml: Hierarchy Ir Jir List Program String

@@ -1,0 +1,1 @@
+lib/facade_compiler/pipeline.ml: Assumptions Bounds Classify Jir Layout Optimize Transform Unix

@@ -1,0 +1,1 @@
+lib/facade_compiler/pipeline.mli: Bounds Classify Jir Layout

@@ -1,0 +1,1 @@
+lib/facade_compiler/rt_names.mli: Jir

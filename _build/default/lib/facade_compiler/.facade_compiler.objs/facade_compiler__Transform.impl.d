@@ -1,0 +1,1 @@
+lib/facade_compiler/transform.ml: Array Bounds Classify Hashtbl Hierarchy Ir Jir Jtype Layout List Option Pagestore Printf Program Rt_names String

@@ -1,0 +1,1 @@
+lib/facade_compiler/transform.mli: Bounds Classify Jir Layout

@@ -1,0 +1,50 @@
+open Jir
+
+type violation = {
+  cls : string;
+  detail : string;
+}
+
+exception Violated of violation list
+
+let rec reference_ok cl = function
+  | Jtype.Prim _ -> true
+  | Jtype.Ref c -> Classify.is_data_class cl c
+  | Jtype.Array e -> reference_ok cl e
+
+let check_class p cl (c : Ir.cls) =
+  let violations = ref [] in
+  let violation detail = violations := { cls = c.Ir.cname; detail } :: !violations in
+  (* Reference-closed world over instance fields. *)
+  List.iter
+    (fun (f : Ir.field) ->
+      if (not f.Ir.fstatic) && not (reference_ok cl f.Ir.ftype) then
+        violation
+          (Printf.sprintf
+             "field %s has non-data reference type %s (reference-closed-world violation)"
+             f.Ir.fname
+             (Jtype.to_string f.Ir.ftype)))
+    c.Ir.cfields;
+  (* Type-closed world over the hierarchy. *)
+  (match c.Ir.super with
+  | Some s when not (Classify.is_data_class cl s) ->
+      violation
+        (Printf.sprintf "superclass %s is not a data class (type-closed-world violation)" s)
+  | Some _ | None -> ());
+  List.iter
+    (fun sub ->
+      if not (Classify.is_data_class cl sub) then
+        violation
+          (Printf.sprintf "subclass %s is not a data class (type-closed-world violation)" sub))
+    (Hierarchy.subclasses p c.Ir.cname);
+  !violations
+
+let check p cl =
+  List.concat_map
+    (fun c ->
+      if Classify.is_data_class cl c.Ir.cname && not c.Ir.cinterface then check_class p cl c
+      else [])
+    (Program.classes p)
+
+let check_or_fail p cl =
+  match check p cl with [] -> () | vs -> raise (Violated vs)

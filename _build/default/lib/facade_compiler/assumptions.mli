@@ -1,0 +1,22 @@
+(** The two closed-world assumptions (paper §3.1).
+
+    [Reference-closed world]: every reference-typed instance field declared
+    in a data class must itself have a data type. [Type-closed world]: a
+    data class's superclasses (except [java.lang.Object]) and subclasses
+    must be data classes; interfaces may be shared with the control path.
+
+    FACADE checks both before transformation and reports compilation errors
+    on violation — the developer must refactor (the paper's cases 3.4 and
+    4.4 surface the same violations at the instruction level). *)
+
+type violation = {
+  cls : string;
+  detail : string;
+}
+
+val check : Jir.Program.t -> Classify.t -> violation list
+
+exception Violated of violation list
+
+val check_or_fail : Jir.Program.t -> Classify.t -> unit
+(** Raises {!Violated} — the compiler's "compilation error". *)

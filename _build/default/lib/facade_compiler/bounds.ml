@@ -1,0 +1,90 @@
+open Jir
+
+type t = {
+  arr : int array;
+  receivers : int;
+}
+
+(* Declared type of a parameter -> the pool that carries it. Abstract
+   types are attributed to a concrete subtype (paper §3.3). *)
+let pool_type p cl layout ty =
+  match ty with
+  | Jtype.Ref c when Classify.is_data_class cl c -> (
+      match Program.find_class p c with
+      | Some def when def.Ir.cinterface -> (
+          match Hierarchy.concrete_subtype p c with
+          | Some sub when Classify.is_data_class cl sub -> Some (Layout.type_id layout sub)
+          | Some _ | None -> Some (Layout.type_id layout c))
+      | Some _ | None -> Some (Layout.type_id layout c))
+  | Jtype.Array _ ->
+      (* Array-typed parameters are carried by page refs directly; array
+         facades exist for dispatch but never for parameter passing. *)
+      None
+  | Jtype.Prim _ | Jtype.Ref _ -> None
+
+(* Count, per data type, the arguments of that declared type at one call
+   site; the bound is the max over all call sites. *)
+let compute p cl layout =
+  let n = Layout.num_types layout in
+  let arr = Array.make n 0 in
+  (* Returns, allocations, and constructor receivers use slot 0, so every
+     data class starts with a bound of 1. *)
+  List.iter
+    (fun cname ->
+      match Layout.type_id layout cname with
+      | id -> arr.(id) <- 1
+      | exception Not_found -> ())
+    (Classify.data_classes cl);
+  let attribute ty = pool_type p cl layout ty in
+  let visit_call ~callee_params =
+    let counts = Hashtbl.create 4 in
+    List.iter
+      (fun (_, ty) ->
+        match attribute ty with
+        | None -> ()
+        | Some id ->
+            let c = Option.value ~default:0 (Hashtbl.find_opt counts id) in
+            Hashtbl.replace counts id (c + 1))
+      callee_params;
+    Hashtbl.iter (fun id c -> if c > arr.(id) then arr.(id) <- c) counts
+  in
+  let callee_params ~cls ~name args =
+    match Hierarchy.resolve_method p ~cls ~name with
+    | Some m -> m.Ir.params
+    | None ->
+        (* Unknown (library) callee: fall back to the argument variables'
+           declared types at the call site. *)
+        List.map (fun a -> (a, Jtype.Ref Jtype.object_class)) args
+  in
+  List.iter
+    (fun (c : Ir.cls) ->
+      let in_data_path =
+        Classify.is_data_class cl c.Ir.cname || Classify.is_boundary_class cl c.Ir.cname
+      in
+      if in_data_path then
+        List.iter
+          (fun (m : Ir.meth) ->
+            Ir.iter_instrs
+              (function
+                | Ir.Call (_, _, cls, name, _, args) ->
+                    visit_call ~callee_params:(callee_params ~cls ~name args)
+                | _ -> ())
+              m)
+          c.Ir.cmethods)
+    (Program.classes p);
+  let receivers =
+    List.length
+      (List.filter
+         (fun c ->
+           match Program.find_class p c with
+           | Some def -> not def.Ir.cinterface
+           | None -> true)
+         (Classify.data_classes cl))
+  in
+  { arr; receivers }
+
+let bound t ~type_id = t.arr.(type_id)
+
+let as_array t = Array.copy t.arr
+
+let total_facades_per_thread t = Array.fold_left ( + ) t.receivers t.arr

@@ -1,0 +1,32 @@
+(** Facade-pool bound computation (paper §2.3, §3.3).
+
+    Before transformation, the compiler inspects every call site in the
+    data path and computes, for each data type, the maximal number of
+    arguments of that (declared) type any single call requires. That number
+    bounds the parameter pool for the type; the receiver pool is always a
+    separate single facade. Parameters declared with an abstract type are
+    attributed to an arbitrary concrete subtype. Every data type gets a
+    bound of at least 1, because returns and allocations use pool slot 0. *)
+
+type t
+
+val compute : Jir.Program.t -> Classify.t -> Layout.t -> t
+
+val pool_type : Jir.Program.t -> Classify.t -> Layout.t -> Jir.Jtype.t -> int option
+(** The pool (by type id) that carries a parameter of the given declared
+    type: data-class references map to their type's pool with abstract
+    types attributed to a concrete subtype; array and non-data types need
+    no facade and map to [None]. Shared with {!Transform} so the emitted
+    pool indices stay within the computed bounds. *)
+
+val bound : t -> type_id:int -> int
+(** Parameter-pool size for a type id (≥ 1 for data types, 0 for ids the
+    pools never serve, e.g. primitive array types — their facades are never
+    needed since array accesses compile to direct page operations). *)
+
+val as_array : t -> int array
+(** Indexed by type id; length {!Layout.num_types}. *)
+
+val total_facades_per_thread : t -> int
+(** Σ bounds + one receiver per data type: the per-thread facade count the
+    paper's object bound O(t·n) refers to. *)

@@ -1,0 +1,47 @@
+(** Record layout computation (paper §2.1, §3.2).
+
+    Each data class and each array type gets a 2-byte type ID (used for
+    virtual dispatch and [instanceof] in P′). The field layout of a data
+    record mirrors the object layout: superclass fields first, then own
+    fields, at statically computed byte offsets past the 4-byte record
+    header. The type-closed-world assumption is what makes these offsets
+    computable per class. *)
+
+type field_slot = {
+  declaring : string;
+  name : string;
+  jty : Jir.Jtype.t;
+  offset : int;       (** from record start (header included) *)
+  width : int;        (** bytes on the page *)
+}
+
+type t
+
+val compute : Jir.Program.t -> Classify.t -> t
+
+val type_id : t -> string -> int
+(** Type ID of a data class name or array-type string
+    (e.g. ["Student"] or ["Student\[\]"]). Raises [Not_found]. *)
+
+val type_id_of_jtype : t -> Jir.Jtype.t -> int
+val name_of_type_id : t -> int -> string
+val is_array_type_id : t -> int -> bool
+
+val fields : t -> string -> field_slot list
+(** Layout-ordered slots of a data class. *)
+
+val field_slot : t -> cls:string -> field:string -> field_slot
+val record_data_bytes : t -> string -> int
+(** Bytes of field data (excluding the 4-byte header). *)
+
+val elem_bytes : Jir.Jtype.t -> int
+(** On-page element width for an array of the given element type. *)
+
+val num_types : t -> int
+(** Total type IDs assigned (array types included). *)
+
+val data_class_count : t -> int
+
+val field_width : Jir.Jtype.t -> int
+(** On-page width of one field of the given type (references are 8-byte
+    page refs). *)

@@ -1,0 +1,73 @@
+open Jir
+
+(* Concrete classes that provide (or inherit) method [name] and are
+   assignable to receiver type [cls]. *)
+let possible_targets p ~cls ~name =
+  let candidates =
+    Program.fold
+      (fun c acc ->
+        if c.Ir.cinterface then acc
+        else begin
+          let matches =
+            Hierarchy.is_subclass p ~sub:c.Ir.cname ~super:cls
+            || Hierarchy.implements p ~cls:c.Ir.cname ~intf:cls
+          in
+          if matches && Hierarchy.resolve_method p ~cls:c.Ir.cname ~name <> None then
+            c.Ir.cname :: acc
+          else acc
+        end)
+      p []
+  in
+  (* Two subclasses may inherit the same concrete method: dedupe by the
+     declaring class of the resolved target. *)
+  let declaring c =
+    let rec walk cls =
+      match Program.find_method p ~cls ~name with
+      | Some _ -> Some cls
+      | None -> (
+          match Program.find_class p cls with
+          | Some { Ir.super = Some s; _ } -> walk s
+          | Some { Ir.super = None; _ } | None -> None)
+    in
+    walk c
+  in
+  List.sort_uniq String.compare (List.filter_map declaring candidates)
+
+let devirtualize_meth p (m : Ir.meth) =
+  Ir.map_blocks
+    (fun _ blk ->
+      let instrs =
+        List.map
+          (fun ins ->
+            match ins with
+            | Ir.Call (ret, Ir.Virtual, cls, name, recv, args) -> (
+                match possible_targets p ~cls ~name with
+                | [ only ] -> Ir.Call (ret, Ir.Special, only, name, recv, args)
+                | _ -> ins)
+            | _ -> ins)
+          blk.Ir.instrs
+      in
+      { blk with Ir.instrs })
+    m
+
+let devirtualize p =
+  List.fold_left
+    (fun acc (c : Ir.cls) ->
+      let c' = { c with Ir.cmethods = List.map (devirtualize_meth p) c.Ir.cmethods } in
+      Program.replace_class acc c')
+    p (Program.classes p)
+
+let count_kinds p =
+  Program.fold
+    (fun c acc ->
+      List.fold_left
+        (fun acc m ->
+          let n = ref 0 in
+          Ir.iter_instrs
+            (function Ir.Call (_, Ir.Virtual, _, _, _, _) -> incr n | _ -> ())
+            m;
+          acc + !n)
+        acc c.Ir.cmethods)
+    p 0
+
+let devirtualized_calls before after = count_kinds before - count_kinds after

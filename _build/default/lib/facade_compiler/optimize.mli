@@ -1,0 +1,21 @@
+(** Pre-transformation optimizations (paper §3.6).
+
+    The paper lists three: inlining of large arrays / wrappers / immutable
+    records, static resolution of virtual calls via points-to analysis, and
+    an oversize class for >32 K arrays. Here:
+
+    - {!devirtualize} resolves virtual calls whose receiver hierarchy has a
+      single concrete target (class-hierarchy analysis — a sound
+      approximation of the paper's points-to-based resolution), turning
+      them into [Special] calls so the generated code skips [resolve] and
+      the receiver pool;
+    - oversize allocation is decided in {!Transform} from statically known
+      array lengths;
+    - record inlining is exercised by the framework backends (the
+      evaluation path), where vertex/edge payloads are laid out inline —
+      see the ablation benchmark. *)
+
+val devirtualize : Jir.Program.t -> Jir.Program.t
+
+val devirtualized_calls : Jir.Program.t -> Jir.Program.t -> int
+(** Number of call sites whose kind changed between the two programs. *)

@@ -1,0 +1,39 @@
+type t = {
+  original : Jir.Program.t;
+  transformed : Jir.Program.t;
+  classification : Classify.t;
+  layout : Layout.t;
+  bounds : Bounds.t;
+  conversions : string list;
+  instrs_in : int;
+  instrs_out : int;
+  classes_transformed : int;
+  seconds : float;
+}
+
+let compile ?(devirtualize = true) ?oversize_static_threshold ~spec p =
+  let t0 = Unix.gettimeofday () in
+  let cl = Classify.classify p spec in
+  Assumptions.check_or_fail p cl;
+  let p = if devirtualize then Optimize.devirtualize p else p in
+  let layout = Layout.compute p cl in
+  let bounds = Bounds.compute p cl layout in
+  let r = Transform.run p cl layout bounds ?oversize_static_threshold () in
+  let seconds = Unix.gettimeofday () -. t0 in
+  {
+    original = p;
+    transformed = r.Transform.program;
+    classification = cl;
+    layout;
+    bounds;
+    conversions = r.Transform.conversions;
+    instrs_in = r.Transform.instrs_in;
+    instrs_out = r.Transform.instrs_out;
+    classes_transformed = r.Transform.classes_transformed;
+    seconds;
+  }
+
+let instrs_per_second t =
+  if t.seconds <= 0.0 then infinity else float_of_int t.instrs_in /. t.seconds
+
+let facades_per_thread t = Bounds.total_facades_per_thread t.bounds

@@ -1,0 +1,32 @@
+(** The complete FACADE compilation pipeline: classify → check assumptions
+    → (optimize) → layout → bounds → transform. Mirrors the paper's user
+    workflow: provide the data-class list (plus boundary annotations) and
+    get back the generated program with its runtime metadata. *)
+
+type t = {
+  original : Jir.Program.t;
+  transformed : Jir.Program.t;
+  classification : Classify.t;
+  layout : Layout.t;
+  bounds : Bounds.t;
+  conversions : string list;
+  instrs_in : int;
+  instrs_out : int;
+  classes_transformed : int;
+  seconds : float;               (** wall-clock transformation time *)
+}
+
+val compile :
+  ?devirtualize:bool ->
+  ?oversize_static_threshold:int ->
+  spec:Classify.spec ->
+  Jir.Program.t ->
+  t
+(** Raises {!Assumptions.Violated} or {!Transform.Error} — the paper's
+    compilation errors that the developer must fix by refactoring. *)
+
+val instrs_per_second : t -> float
+(** Transformation speed, comparable to §4's 752–1102 instructions/s. *)
+
+val facades_per_thread : t -> int
+(** The per-thread facade population O(n) — e.g. GraphChi's 11. *)

@@ -1,0 +1,36 @@
+let alloc = "rt.alloc"
+let alloc_array = "rt.alloc_array"
+let alloc_array_oversize = "rt.alloc_array_oversize"
+let free_oversize = "rt.free_oversize"
+
+let suffix = function
+  | Jir.Jtype.Prim Jir.Jtype.Bool | Jir.Jtype.Prim Jir.Jtype.Byte -> "i8"
+  | Jir.Jtype.Prim Jir.Jtype.Char | Jir.Jtype.Prim Jir.Jtype.Short -> "i16"
+  | Jir.Jtype.Prim Jir.Jtype.Int -> "i32"
+  | Jir.Jtype.Prim Jir.Jtype.Long -> "i64"
+  | Jir.Jtype.Prim Jir.Jtype.Float -> "f32"
+  | Jir.Jtype.Prim Jir.Jtype.Double -> "f64"
+  | Jir.Jtype.Ref _ | Jir.Jtype.Array _ -> "ref"
+
+let get_field ty = "rt.get_" ^ suffix ty
+let set_field ty = "rt.set_" ^ suffix ty
+let array_get ty = "rt.aget_" ^ suffix ty
+let array_set ty = "rt.aset_" ^ suffix ty
+let array_length = "rt.array_length"
+let type_id = "rt.type_id"
+let is_type = "rt.is_type"
+let checkcast = "rt.checkcast"
+let string_literal = "rt.string_literal"
+let pool_param = "pool.param"
+let pool_resolve = "pool.resolve"
+let pool_receiver = "pool.receiver"
+let facade_bind = "facade.bind"
+let facade_read = "facade.read"
+let lock_enter = "lock.enter"
+let lock_exit = "lock.exit"
+let convert_to = "convert.to"
+let convert_from = "convert.from"
+let print = "sys.print"
+let arraycopy = "sys.arraycopy"
+let current_thread = "sys.current_thread"
+let run_thread = "sys.run_thread"

@@ -1,0 +1,69 @@
+(** Names of the runtime-library operations the generated code calls.
+
+    In P′ every data access compiles to an [Ir.Intrinsic] naming one of
+    these operations (the paper's [FacadeRuntime.getField] etc.); the VM
+    implements them against the page store. Keeping the names in one module
+    ties the compiler and the VM together. *)
+
+val alloc : string
+(** (type_id, data_bytes) → ref. *)
+
+val alloc_array : string
+(** (type_id, elem_bytes, length) → ref. *)
+
+val alloc_array_oversize : string
+val free_oversize : string
+
+val get_field : Jir.Jtype.t -> string
+(** [get_field ty] is ["rt.get_<kind>"]: (ref, offset) → value. *)
+
+val set_field : Jir.Jtype.t -> string
+(** (ref, offset, value). *)
+
+val array_get : Jir.Jtype.t -> string
+(** [array_get elem_ty]: (ref, elem_bytes, index) → value. *)
+
+val array_set : Jir.Jtype.t -> string
+val array_length : string
+val type_id : string
+val is_type : string
+(** (ref, type_id) → bool; exact runtime-type test for array records. *)
+
+val checkcast : string
+(** (ref, type_id) → ref, checked against the type hierarchy. *)
+
+val string_literal : string
+val pool_param : string
+(** (type_id, index) → facade. *)
+
+val pool_resolve : string
+(** (ref) → receiver facade of the record's runtime type, bound to ref —
+    the paper's [resolve]. *)
+
+val pool_receiver : string
+(** (type_id) → the type's receiver facade (static dispatch). *)
+
+val facade_bind : string
+val facade_read : string
+val lock_enter : string
+val lock_exit : string
+val convert_to : string
+(** (class_name, ref) → heap object: the synthesized [convertToB]. *)
+
+val convert_from : string
+(** (class_name, obj) → ref: the synthesized [convertFromB]. *)
+
+val print : string
+(** Diagnostic output, captured by the VM (exists in P and P′). *)
+
+val arraycopy : string
+(** The modelled native [System.arraycopy]. *)
+
+val current_thread : string
+(** () → logical thread id. *)
+
+val run_thread : string
+(** (obj) → unit: execute [obj.run()] to completion on a fresh logical
+    thread with its own page manager and facade pools (the modelled
+    [Thread.start]+[join]; execution is deterministic and sequential, but
+    the per-thread runtime structures of §3.4 are fully exercised). *)

@@ -1,0 +1,1 @@
+lib/facade_vm/exec_stats.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/facade_vm/interp.ml: Array Exec_stats Facade_compiler Float Hashtbl Heapsim Hierarchy Ir Jir Jtype List Option Pagestore Printf Program String Value

@@ -1,0 +1,1 @@
+lib/facade_vm/interp.mli: Exec_stats Facade_compiler Heapsim Jir Pagestore Value

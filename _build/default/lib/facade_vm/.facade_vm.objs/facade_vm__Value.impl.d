@@ -1,0 +1,1 @@
+lib/facade_vm/value.ml: Array Hashtbl Jir Pagestore Printf String

@@ -1,0 +1,1 @@
+lib/facade_vm/value.mli: Hashtbl Jir Pagestore

@@ -1,0 +1,36 @@
+type t = {
+  mutable heap_objects : int;
+  mutable data_objects : int;
+  mutable page_records : int;
+  by_class : (string, int) Hashtbl.t;
+  max_pool_index : (int, int) Hashtbl.t;
+  mutable steps : int;
+  mutable output : string list;
+}
+
+let create () =
+  {
+    heap_objects = 0;
+    data_objects = 0;
+    page_records = 0;
+    by_class = Hashtbl.create 16;
+    max_pool_index = Hashtbl.create 16;
+    steps = 0;
+    output = [];
+  }
+
+let note_alloc t ~cls ~is_data =
+  t.heap_objects <- t.heap_objects + 1;
+  if is_data then t.data_objects <- t.data_objects + 1;
+  let c = Option.value ~default:0 (Hashtbl.find_opt t.by_class cls) in
+  Hashtbl.replace t.by_class cls (c + 1)
+
+let note_record t = t.page_records <- t.page_records + 1
+
+let note_pool_use t ~type_id ~index =
+  let m = Option.value ~default:(-1) (Hashtbl.find_opt t.max_pool_index type_id) in
+  if index > m then Hashtbl.replace t.max_pool_index type_id index
+
+let output_lines t = List.rev t.output
+
+let class_count t cls = Option.value ~default:0 (Hashtbl.find_opt t.by_class cls)

@@ -1,0 +1,22 @@
+(** Execution statistics the experiments observe: object populations per
+    class (the paper's E7-style counts), page records, pool usage, and the
+    program's captured output (used by the P ≡ P′ equivalence tests). *)
+
+type t = {
+  mutable heap_objects : int;        (** all heap allocations (P: incl. data) *)
+  mutable data_objects : int;        (** heap objects of data classes *)
+  mutable page_records : int;        (** records allocated in pages (P′) *)
+  by_class : (string, int) Hashtbl.t;
+  max_pool_index : (int, int) Hashtbl.t;  (** type id → max param index used *)
+  mutable steps : int;
+  mutable output : string list;      (** reversed sys.print lines *)
+}
+
+val create : unit -> t
+val note_alloc : t -> cls:string -> is_data:bool -> unit
+val note_record : t -> unit
+val note_pool_use : t -> type_id:int -> index:int -> unit
+val output_lines : t -> string list
+(** In print order. *)
+
+val class_count : t -> string -> int

@@ -1,0 +1,46 @@
+(** The jir virtual machine.
+
+    One interpreter runs both sides of the paper's comparison:
+
+    - {!run_object} executes the original program P. Data and control
+      objects are real heap values; every allocation is charged to an
+      optional {!Heapsim.Heap} with a lifetime derived from the data-class
+      predicate, so GC time, peak memory, and OOM behaviour can be
+      observed.
+    - {!run_facade} executes the generated program P′ against a real
+      {!Pagestore.Store}: the [rt.*], [pool.*], [facade.*], [lock.*] and
+      [convert.*] intrinsics emitted by the compiler are implemented here
+      — page allocation, bounded facade pools, the shared lock pool, and
+      reflection-style data conversion at interaction points.
+
+    The VM is the oracle for the transformation's semantics-preservation
+    tests: P and P′ must produce the same results and output. *)
+
+exception Vm_error of string
+(** Runtime failures (missing method, bad cast, arithmetic, step budget). *)
+
+type outcome = {
+  result : Value.t option;
+  stats : Exec_stats.t;
+  store_stats : Pagestore.Store.stats option;  (** facade mode only *)
+  facades_allocated : int;  (** heap facades populating the pools (P′) *)
+}
+
+val run_object :
+  ?heap:Heapsim.Heap.t ->
+  ?is_data:(string -> bool) ->
+  ?max_steps:int ->
+  ?entry_args:Value.t list ->
+  Jir.Program.t ->
+  outcome
+(** Execute a program's entry point in object mode. [max_steps] defaults
+    to 50 million. *)
+
+val run_facade :
+  ?heap:Heapsim.Heap.t ->
+  ?max_steps:int ->
+  ?page_bytes:int ->
+  ?entry_args:Value.t list ->
+  Facade_compiler.Pipeline.t ->
+  outcome
+(** Execute a compiled pipeline's transformed program in facade mode. *)

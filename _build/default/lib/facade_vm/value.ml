@@ -1,0 +1,56 @@
+type obj = {
+  ocls : string;
+  fields : (string, t) Hashtbl.t;
+  oid : int;
+}
+
+and arr = {
+  aty : Jir.Jtype.t;
+  elems : t array;
+  aid : int;
+}
+
+and t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Obj of obj
+  | Arr of arr
+  | Facade of Pagestore.Facade_pool.facade
+
+let default_of = function
+  | Jir.Jtype.Prim (Jir.Jtype.Float | Jir.Jtype.Double) -> Float 0.0
+  | Jir.Jtype.Prim _ -> Int 0
+  | Jir.Jtype.Ref _ | Jir.Jtype.Array _ -> Null
+
+let truthy = function
+  | Int 0 | Null -> false
+  | Int _ | Float _ | Str _ | Obj _ | Arr _ | Facade _ -> true
+
+let equal_ref a b =
+  match a, b with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Obj x, Obj y -> x.oid = y.oid
+  | Arr x, Arr y -> x.aid = y.aid
+  | Facade x, Facade y -> x == y
+  | (Null | Int _ | Float _ | Str _ | Obj _ | Arr _ | Facade _), _ -> false
+
+let to_string = function
+  | Null -> "null"
+  | Int n -> string_of_int n
+  | Float x -> Printf.sprintf "%g" x
+  | Str s -> s
+  | Obj o -> Printf.sprintf "%s@%d" o.ocls o.oid
+  | Arr a -> Printf.sprintf "%s[%d]@%d" (Jir.Jtype.to_string a.aty) (Array.length a.elems) a.aid
+  | Facade f -> Printf.sprintf "facade<%d>" f.Pagestore.Facade_pool.ftype
+
+let of_const = function
+  | Jir.Ir.Cint n -> Int n
+  | Jir.Ir.Cfloat x -> Float x
+  | Jir.Ir.Cbool b -> Int (if b then 1 else 0)
+  | Jir.Ir.Cnull -> Null
+  | Jir.Ir.Cstr s -> Str s

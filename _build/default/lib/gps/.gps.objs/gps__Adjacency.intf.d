@@ -1,0 +1,1 @@
+lib/gps/adjacency.mli: Workloads

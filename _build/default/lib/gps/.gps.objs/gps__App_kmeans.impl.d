@@ -1,0 +1,1 @@
+lib/gps/app_kmeans.ml: Array Pregel Workloads

@@ -1,0 +1,1 @@
+lib/gps/app_kmeans.mli: Pregel Workloads

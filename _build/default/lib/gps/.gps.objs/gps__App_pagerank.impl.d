@@ -1,0 +1,1 @@
+lib/gps/app_pagerank.ml: Adjacency Array Pregel Workloads

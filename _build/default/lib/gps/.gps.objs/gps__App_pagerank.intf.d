@@ -1,0 +1,1 @@
+lib/gps/app_pagerank.mli: Pregel Workloads

@@ -1,0 +1,1 @@
+lib/gps/app_random_walk.mli: Pregel Workloads

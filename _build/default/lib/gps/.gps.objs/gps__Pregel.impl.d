@@ -1,0 +1,1 @@
+lib/gps/pregel.ml: Gcost Heapsim Option Pagestore

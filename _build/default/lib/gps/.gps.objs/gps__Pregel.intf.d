@@ -1,0 +1,1 @@
+lib/gps/pregel.mli: Gcost Heapsim Pagestore

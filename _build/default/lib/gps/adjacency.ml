@@ -1,0 +1,24 @@
+type t = {
+  n : int;
+  start : int array;
+  nbr : int array;
+  out_degree : int array;
+}
+
+let build (g : Workloads.Graph_gen.t) =
+  let n = g.Workloads.Graph_gen.num_vertices in
+  let edges = g.Workloads.Graph_gen.edges in
+  let deg = Array.make n 0 in
+  Array.iter (fun (s, _) -> deg.(s) <- deg.(s) + 1) edges;
+  let start = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    start.(v + 1) <- start.(v) + deg.(v)
+  done;
+  let nbr = Array.make (Array.length edges) 0 in
+  let cursor = Array.copy start in
+  Array.iter
+    (fun (s, d) ->
+      nbr.(cursor.(s)) <- d;
+      cursor.(s) <- cursor.(s) + 1)
+    edges;
+  { n; start; nbr; out_degree = deg }

@@ -1,0 +1,10 @@
+(** Out-edge adjacency in compressed form, for the GPS vertex programs. *)
+
+type t = {
+  n : int;
+  start : int array;  (** length n+1 *)
+  nbr : int array;
+  out_degree : int array;
+}
+
+val build : Workloads.Graph_gen.t -> t

@@ -1,0 +1,51 @@
+type result = {
+  centroids : float array array;
+  assignments : int array;
+}
+
+let distance2 a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) *. (x -. b.(i)))) a;
+  !acc
+
+let run ?(supersteps = 10) ~k config (points : Workloads.Points_gen.t) =
+  if k <= 0 then invalid_arg "App_kmeans.run: k must be positive";
+  Pregel.with_run config (fun c ->
+      let pts = points.Workloads.Points_gen.points in
+      let n = Array.length pts in
+      let dims = points.Workloads.Points_gen.dims in
+      Pregel.load_graph c ~vertices:n ~edges:0;
+      (* Deterministic initial centroids: evenly spaced sample points. *)
+      let centroids =
+        Array.init k (fun i -> Array.copy pts.(i * max 1 (n / k) mod max 1 n))
+      in
+      let assignments = Array.make n 0 in
+      for _ = 1 to supersteps do
+        (* Assignment phase: one message per point to the master. *)
+        for p = 0 to n - 1 do
+          let best = ref 0 and best_d = ref infinity in
+          for ci = 0 to k - 1 do
+            let d = distance2 pts.(p) centroids.(ci) in
+            if d < !best_d then begin
+              best_d := d;
+              best := ci
+            end
+          done;
+          assignments.(p) <- !best
+        done;
+        (* Update phase: aggregate sums, recompute centroids. *)
+        let sums = Array.init k (fun _ -> Array.make dims 0.0) in
+        let counts = Array.make k 0 in
+        for p = 0 to n - 1 do
+          let a = assignments.(p) in
+          counts.(a) <- counts.(a) + 1;
+          Array.iteri (fun d x -> sums.(a).(d) <- sums.(a).(d) +. x) pts.(p)
+        done;
+        for ci = 0 to k - 1 do
+          if counts.(ci) > 0 then
+            centroids.(ci) <-
+              Array.map (fun s -> s /. float_of_int counts.(ci)) sums.(ci)
+        done;
+        Pregel.superstep c ~msgs:(n + (k * dims))
+      done;
+      { centroids; assignments })

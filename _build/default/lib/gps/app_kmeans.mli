@@ -1,0 +1,15 @@
+(** GPS k-means: vertices hold points; each superstep assigns points to
+    the nearest centroid and aggregates centroid updates through the
+    master, as in the GPS paper's vertex-centric formulation. *)
+
+type result = {
+  centroids : float array array;
+  assignments : int array;
+}
+
+val run :
+  ?supersteps:int ->
+  k:int ->
+  Pregel.config ->
+  Workloads.Points_gen.t ->
+  result Pregel.outcome

@@ -1,0 +1,25 @@
+let run ?(supersteps = 10) config (g : Workloads.Graph_gen.t) =
+  Pregel.with_run config (fun c ->
+      let adj = Adjacency.build g in
+      let n = adj.Adjacency.n in
+      Pregel.load_graph c ~vertices:n ~edges:(Array.length adj.Adjacency.nbr);
+      let ranks = Array.make n 1.0 in
+      let incoming = Array.make n 0.0 in
+      for _ = 1 to supersteps do
+        Array.fill incoming 0 n 0.0;
+        for v = 0 to n - 1 do
+          let d = adj.Adjacency.out_degree.(v) in
+          if d > 0 then begin
+            let share = ranks.(v) /. float_of_int d in
+            for i = adj.Adjacency.start.(v) to adj.Adjacency.start.(v + 1) - 1 do
+              let u = adj.Adjacency.nbr.(i) in
+              incoming.(u) <- incoming.(u) +. share
+            done
+          end
+        done;
+        for v = 0 to n - 1 do
+          ranks.(v) <- 0.15 +. (0.85 *. incoming.(v))
+        done;
+        Pregel.superstep c ~msgs:(Array.length adj.Adjacency.nbr)
+      done;
+      ranks)

@@ -1,0 +1,7 @@
+(** GPS PageRank: each superstep a vertex divides its rank among its
+    out-neighbours and combines incoming shares. *)
+
+val run :
+  ?supersteps:int -> Pregel.config -> Workloads.Graph_gen.t -> float array Pregel.outcome
+(** Default 10 supersteps. The returned ranks are identical in both modes
+    (the engine's cost accounting never touches the arithmetic). *)

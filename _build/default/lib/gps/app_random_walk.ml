@@ -1,0 +1,28 @@
+type result = {
+  positions : int array;
+  visits_checksum : int;
+}
+
+let run ?(steps = 10) ?walkers ~seed config (g : Workloads.Graph_gen.t) =
+  Pregel.with_run config (fun c ->
+      let adj = Adjacency.build g in
+      let n = adj.Adjacency.n in
+      let walkers = match walkers with Some w -> w | None -> n in
+      Pregel.load_graph c ~vertices:n ~edges:(Array.length adj.Adjacency.nbr);
+      let rng = Workloads.Rng.create seed in
+      let positions = Array.init walkers (fun _ -> Workloads.Rng.int rng n) in
+      let checksum = ref 0 in
+      for _ = 1 to steps do
+        for w = 0 to walkers - 1 do
+          let v = positions.(w) in
+          let d = adj.Adjacency.out_degree.(v) in
+          let next =
+            if d = 0 then Workloads.Rng.int rng n
+            else adj.Adjacency.nbr.(adj.Adjacency.start.(v) + Workloads.Rng.int rng d)
+          in
+          positions.(w) <- next;
+          checksum := (!checksum + next) land max_int
+        done;
+        Pregel.superstep c ~msgs:walkers
+      done;
+      { positions; visits_checksum = !checksum })

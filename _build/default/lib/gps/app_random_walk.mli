@@ -1,0 +1,16 @@
+(** GPS random walk: one walker per vertex (by default) steps along random out-edges
+    each superstep (walkers on sinks teleport uniformly). Deterministic in
+    the seed, so both modes produce identical final positions. *)
+
+type result = {
+  positions : int array;
+  visits_checksum : int;
+}
+
+val run :
+  ?steps:int ->
+  ?walkers:int ->
+  seed:int ->
+  Pregel.config ->
+  Workloads.Graph_gen.t ->
+  result Pregel.outcome

@@ -1,0 +1,30 @@
+type t = {
+  compute_per_msg : float;
+  msg_overhead_object : float;
+  msg_overhead_facade : float;
+  superstep_fixed : float;
+  facade_fixed_per_superstep : float;
+  msg_objects_fraction : float;
+  msg_object_bytes : int;
+  vertex_object_bytes : int;
+  temps_per_msg_object : float;
+  temps_per_msg_facade : float;
+  temp_bytes : int;
+}
+
+(* Calibrated against §4.3's summary numbers at 1/500 graph scale; see
+   EXPERIMENTS.md E6. *)
+let default =
+  {
+    compute_per_msg = 40.0e-6;
+    msg_overhead_object = 7.0e-6;
+    msg_overhead_facade = 4.0e-6;
+    superstep_fixed = 1.0;
+    facade_fixed_per_superstep = 0.05;
+    msg_objects_fraction = 0.25;
+    msg_object_bytes = 32;
+    vertex_object_bytes = 40;
+    temps_per_msg_object = 0.30;
+    temps_per_msg_facade = 0.10;
+    temp_bytes = 24;
+  }

@@ -1,0 +1,25 @@
+(** Cost constants for the GPS analogue (paper §4.3).
+
+    GPS already stores most per-vertex state in primitive arrays — "similar
+    in spirit to what FACADE intends to achieve" — so its GC share is small
+    (1–17 % of run time) and the facade gains are modest (3–15.4 % time,
+    10–39.8 % GC, ≤ 14.4 % space). Structurally: only a fraction of
+    messages and the object-array graph representation are heap objects in
+    P, and P′ pays a small fixed pool/page overhead that cancels the gain
+    on the smallest graph. *)
+
+type t = {
+  compute_per_msg : float;        (** message combine/apply, both modes *)
+  msg_overhead_object : float;    (** object-path share of message handling (P) *)
+  msg_overhead_facade : float;    (** page-path share of message handling (P′) *)
+  superstep_fixed : float;        (** barrier + bookkeeping per superstep *)
+  facade_fixed_per_superstep : float;  (** pool/page-management overhead (P′) *)
+  msg_objects_fraction : float;   (** messages that become heap objects in P *)
+  msg_object_bytes : int;
+  vertex_object_bytes : int;      (** per-vertex graph-representation objects (P) *)
+  temps_per_msg_object : float;
+  temps_per_msg_facade : float;
+  temp_bytes : int;
+}
+
+val default : t

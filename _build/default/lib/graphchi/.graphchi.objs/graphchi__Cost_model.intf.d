@@ -1,0 +1,1 @@
+lib/graphchi/cost_model.mli:

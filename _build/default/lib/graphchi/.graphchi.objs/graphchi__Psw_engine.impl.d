@@ -1,0 +1,1 @@
+lib/graphchi/psw_engine.ml: Array Cost_model Heapsim List Option Pagestore Sharder Vertex_program

@@ -1,0 +1,1 @@
+lib/graphchi/psw_engine.mli: Cost_model Sharder Vertex_program

@@ -1,0 +1,1 @@
+lib/graphchi/sharder.ml: Array List Workloads

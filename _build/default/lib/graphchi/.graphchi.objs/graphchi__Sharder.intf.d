@@ -1,0 +1,1 @@
+lib/graphchi/sharder.mli: Workloads

@@ -1,0 +1,1 @@
+lib/graphchi/vertex_program.mli:

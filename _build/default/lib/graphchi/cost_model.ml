@@ -1,0 +1,37 @@
+type t = {
+  io_per_edge : float;
+  object_alloc_per_edge : float;
+  page_write_per_edge : float;
+  compute_per_edge : float;
+  deref_per_edge_object : float;
+  access_per_edge_page : float;
+  temps_per_edge_object : float;
+  temps_per_edge_facade : float;
+  temp_bytes : int;
+  vertex_object_bytes : int;
+  edge_object_bytes : int;
+  control_bytes_per_interval : int;
+  control_objs_per_interval : int;
+}
+
+(* Calibrated against Table 2's PR-8g row (ET 1540.8 / UT 675.5 / LT 786.6
+   / GT 317.1 over twitter-2010 at 1/500 scale, 5 iterations): see
+   EXPERIMENTS.md E1 for the calibration protocol. *)
+let default =
+  {
+    io_per_edge = 30.0e-6;
+    object_alloc_per_edge = 22.0e-6;
+    page_write_per_edge = 9.0e-6;
+    compute_per_edge = 18.0e-6;
+    deref_per_edge_object = 27.0e-6;
+    access_per_edge_page = 16.0e-6;
+    temps_per_edge_object = 1.2;
+    temps_per_edge_facade = 0.5;
+    temp_bytes = 32;
+    vertex_object_bytes = 48;
+    edge_object_bytes = 32;
+    control_bytes_per_interval = 16 * 1024;
+    control_objs_per_interval = 400;
+  }
+
+let scaled_gb = 1 lsl 20

@@ -1,0 +1,76 @@
+type csr = {
+  num_vertices : int;
+  num_edges : int;
+  in_start : int array;
+  in_nbr : int array;
+  out_start : int array;
+  out_nbr : int array;
+  out_degree : int array;
+}
+
+let adjacency ~n ~edges ~key ~value =
+  let deg = Array.make n 0 in
+  Array.iter (fun e -> deg.(key e) <- deg.(key e) + 1) edges;
+  let start = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    start.(v + 1) <- start.(v) + deg.(v)
+  done;
+  let nbr = Array.make (Array.length edges) 0 in
+  let cursor = Array.copy start in
+  Array.iter
+    (fun e ->
+      let k = key e in
+      nbr.(cursor.(k)) <- value e;
+      cursor.(k) <- cursor.(k) + 1)
+    edges;
+  (start, nbr)
+
+let build (g : Workloads.Graph_gen.t) =
+  let n = g.Workloads.Graph_gen.num_vertices in
+  let edges = g.Workloads.Graph_gen.edges in
+  let in_start, in_nbr = adjacency ~n ~edges ~key:snd ~value:fst in
+  let out_start, out_nbr = adjacency ~n ~edges ~key:fst ~value:snd in
+  let out_degree = Array.init n (fun v -> out_start.(v + 1) - out_start.(v)) in
+  {
+    num_vertices = n;
+    num_edges = Array.length edges;
+    in_start;
+    in_nbr;
+    out_start;
+    out_nbr;
+    out_degree;
+  }
+
+let interval_edges csr ~use_out ~lo ~hi =
+  let ins = csr.in_start.(hi) - csr.in_start.(lo) in
+  if use_out then ins + (csr.out_start.(hi) - csr.out_start.(lo)) else ins
+
+let intervals csr ~use_out ~max_edges =
+  let n = csr.num_vertices in
+  let rec go lo acc =
+    if lo >= n then List.rev acc
+    else begin
+      (* Extend the interval while the edge budget allows; always take at
+         least one vertex. *)
+      let rec extend hi =
+        if hi >= n then n
+        else if interval_edges csr ~use_out ~lo ~hi:(hi + 1) > max_edges && hi > lo then hi
+        else extend (hi + 1)
+      in
+      let hi = extend (lo + 1) in
+      go hi ((lo, hi) :: acc)
+    end
+  in
+  go 0 []
+
+let intervals_fixed csr ~count =
+  let n = csr.num_vertices in
+  let count = max 1 (min count n) in
+  let per = (n + count - 1) / count in
+  let rec go lo acc =
+    if lo >= n then List.rev acc
+    else
+      let hi = min n (lo + per) in
+      go hi ((lo, hi) :: acc)
+  in
+  go 0 []

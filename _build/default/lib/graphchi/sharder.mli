@@ -1,0 +1,30 @@
+(** Graph preprocessing: the analogue of GraphChi's sharding step.
+
+    Builds compact CSR adjacency ("shards on disk" — plain int arrays, not
+    heap-simulated) and splits the vertex space into execution intervals
+    whose edge counts respect a memory budget, as the parallel sliding
+    windows algorithm does. *)
+
+type csr = {
+  num_vertices : int;
+  num_edges : int;
+  in_start : int array;   (** length [num_vertices + 1] *)
+  in_nbr : int array;     (** concatenated in-neighbour (source) lists *)
+  out_start : int array;
+  out_nbr : int array;
+  out_degree : int array;
+}
+
+val build : Workloads.Graph_gen.t -> csr
+
+val interval_edges : csr -> use_out:bool -> lo:int -> hi:int -> int
+(** Edges touched when processing vertices [lo, hi): in-edges, plus
+    out-edges when the program gathers over both directions. *)
+
+val intervals : csr -> use_out:bool -> max_edges:int -> (int * int) list
+(** Vertex ranges covering the graph, each touching at most [max_edges]
+    edges (single-vertex ranges may exceed it — a vertex is never split). *)
+
+val intervals_fixed : csr -> count:int -> (int * int) list
+(** Split into [count] roughly equal vertex ranges (the data-determined
+    loading the transformed program exhibits — DESIGN.md E1). *)

@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  init : int -> float;
+  init_acc : float;
+  gather : acc:float -> nb_value:float -> nb_out_degree:int -> float;
+  apply : acc:float -> old_value:float -> float;
+  use_out_edges : bool;
+  object_deref_factor : float;
+  facade_access_factor : float;
+  facade_write_factor : float;
+}
+
+let pagerank =
+  {
+    name = "PR";
+    init = (fun _ -> 1.0);
+    init_acc = 0.0;
+    gather =
+      (fun ~acc ~nb_value ~nb_out_degree ->
+        if nb_out_degree = 0 then acc else acc +. (nb_value /. float_of_int nb_out_degree));
+    apply = (fun ~acc ~old_value:_ -> 0.15 +. (0.85 *. acc));
+    use_out_edges = false;
+    object_deref_factor = 1.0;
+    facade_access_factor = 1.0;
+    facade_write_factor = 1.0;
+  }
+
+let connected_components =
+  {
+    name = "CC";
+    init = float_of_int;
+    init_acc = infinity;
+    gather = (fun ~acc ~nb_value ~nb_out_degree:_ -> Float.min acc nb_value);
+    apply = (fun ~acc ~old_value -> Float.min acc old_value);
+    use_out_edges = true;
+    object_deref_factor = 0.6;
+    facade_access_factor = 0.9;
+    facade_write_factor = 2.0;
+  }

@@ -1,0 +1,28 @@
+(** Vertex-centric programs for the PSW engine, in gather/apply form.
+
+    Values are doubles (exactly what the paged vertex records store), so
+    the object-mode and facade-mode executions are bit-comparable. *)
+
+type t = {
+  name : string;
+  init : int -> float;   (** initial value of a vertex *)
+  init_acc : float;
+  gather : acc:float -> nb_value:float -> nb_out_degree:int -> float;
+  apply : acc:float -> old_value:float -> float;
+  use_out_edges : bool;  (** gather over out-neighbours too (CC) *)
+  object_deref_factor : float;
+      (** how pointer-chasing-bound the program's update is in P (PR's
+          rank reads chase vertex/edge objects; CC's label propagation is
+          already array-friendly in GraphChi, hence gains less) *)
+  facade_access_factor : float;  (** page-access weight of the update in P' *)
+  facade_write_factor : float;
+      (** page writes per loaded edge in P' (CC materialises both edge
+          directions; PR pre-divides ranks into one slot) *)
+}
+
+val pagerank : t
+(** The paper's PR: rank = 0.15 + 0.85 · Σ rank(u)/outdeg(u). *)
+
+val connected_components : t
+(** The paper's CC: label propagation to the minimum neighbour id, over
+    both edge directions (edges treated as undirected). *)

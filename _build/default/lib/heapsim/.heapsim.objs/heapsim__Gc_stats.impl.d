@@ -1,0 +1,1 @@
+lib/heapsim/gc_stats.ml: Format

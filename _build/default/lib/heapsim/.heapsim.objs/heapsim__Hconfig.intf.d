@@ -1,0 +1,1 @@
+lib/heapsim/hconfig.mli:

@@ -1,0 +1,1 @@
+lib/heapsim/heap.ml: Gc_stats Hconfig List Sim_clock

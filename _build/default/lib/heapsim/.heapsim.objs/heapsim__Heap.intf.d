@@ -1,0 +1,1 @@
+lib/heapsim/heap.mli: Gc_stats Hconfig Sim_clock

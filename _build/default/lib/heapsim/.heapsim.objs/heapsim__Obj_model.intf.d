@@ -1,0 +1,1 @@
+lib/heapsim/obj_model.mli:

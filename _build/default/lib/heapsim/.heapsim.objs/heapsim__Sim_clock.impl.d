@@ -1,0 +1,1 @@
+lib/heapsim/sim_clock.ml:

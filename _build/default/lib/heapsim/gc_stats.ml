@@ -1,0 +1,37 @@
+type t = {
+  mutable minor_gcs : int;
+  mutable major_gcs : int;
+  mutable gc_seconds : float;
+  mutable objects_traced : int;
+  mutable bytes_copied : int;
+  mutable objects_allocated : int;
+  mutable bytes_allocated : int;
+}
+
+let create () =
+  {
+    minor_gcs = 0;
+    major_gcs = 0;
+    gc_seconds = 0.0;
+    objects_traced = 0;
+    bytes_copied = 0;
+    objects_allocated = 0;
+    bytes_allocated = 0;
+  }
+
+let copy t =
+  {
+    minor_gcs = t.minor_gcs;
+    major_gcs = t.major_gcs;
+    gc_seconds = t.gc_seconds;
+    objects_traced = t.objects_traced;
+    bytes_copied = t.bytes_copied;
+    objects_allocated = t.objects_allocated;
+    bytes_allocated = t.bytes_allocated;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "minor=%d major=%d gc=%.2fs traced=%d copied=%dB allocs=%d (%dB)"
+    t.minor_gcs t.major_gcs t.gc_seconds t.objects_traced t.bytes_copied
+    t.objects_allocated t.bytes_allocated

@@ -1,0 +1,15 @@
+(** Counters accumulated by the simulated collector. *)
+
+type t = {
+  mutable minor_gcs : int;
+  mutable major_gcs : int;
+  mutable gc_seconds : float;
+  mutable objects_traced : int;   (** live objects visited across all GCs *)
+  mutable bytes_copied : int;
+  mutable objects_allocated : int;
+  mutable bytes_allocated : int;
+}
+
+val create : unit -> t
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+type costs = {
+  minor_fixed : float;
+  minor_per_obj : float;
+  minor_per_byte : float;
+  major_fixed : float;
+  major_per_obj : float;
+  major_per_byte : float;
+}
+
+type t = {
+  heap_bytes : int;
+  young_bytes : int;
+  costs : costs;
+}
+
+(* Per-object costs fold in the dataset down-scaling factor (500x, see
+   DESIGN.md): one simulated object stands for ~500 paper objects, so its
+   trace cost is ~500 x a realistic ~40ns/object JVM tracing cost. *)
+let default_costs =
+  {
+    minor_fixed = 0.002;
+    minor_per_obj = 8.0e-6;
+    minor_per_byte = 50.0e-9;
+    major_fixed = 0.010;
+    major_per_obj = 10.0e-6;
+    major_per_byte = 120.0e-9;
+  }
+
+let make ?(costs = default_costs) ?(young_fraction = 0.25) ~heap_bytes () =
+  if heap_bytes <= 0 then invalid_arg "Hconfig.make: heap_bytes must be positive";
+  if young_fraction <= 0.0 || young_fraction >= 1.0 then
+    invalid_arg "Hconfig.make: young_fraction must be in (0, 1)";
+  let young_bytes = max 1 (int_of_float (float_of_int heap_bytes *. young_fraction)) in
+  { heap_bytes; young_bytes; costs }

@@ -1,0 +1,24 @@
+(** Configuration of the simulated JVM heap and its GC cost model. *)
+
+type costs = {
+  minor_fixed : float;     (** seconds of pause per minor (scavenge) GC *)
+  minor_per_obj : float;   (** seconds per young survivor traced+copied *)
+  minor_per_byte : float;  (** seconds per young survivor byte copied *)
+  major_fixed : float;     (** seconds of pause per major (mark-sweep-compact) GC *)
+  major_per_obj : float;   (** seconds per live object traced *)
+  major_per_byte : float;  (** seconds per live byte compacted *)
+}
+
+type t = {
+  heap_bytes : int;   (** -Xmx: total heap budget *)
+  young_bytes : int;  (** young-generation (nursery) size *)
+  costs : costs;
+}
+
+val default_costs : costs
+(** Calibrated once against Table 2's original-program column (see
+    DESIGN.md §5.2) and frozen for every experiment. *)
+
+val make : ?costs:costs -> ?young_fraction:float -> heap_bytes:int -> unit -> t
+(** [make ~heap_bytes ()] uses [default_costs] and a nursery of
+    [young_fraction] (default 0.25) of the heap. *)

@@ -1,0 +1,242 @@
+type lifetime = Temp | Iteration | Control | Permanent
+
+exception Out_of_memory of { at_seconds : float; live_bytes : int }
+
+type seg = { mutable objs : int; mutable bytes : int }
+
+let seg () = { objs = 0; bytes = 0 }
+
+let seg_add s ~objs ~bytes =
+  s.objs <- s.objs + objs;
+  s.bytes <- s.bytes + bytes
+
+let seg_clear s =
+  s.objs <- 0;
+  s.bytes <- 0
+
+(* A population (control objects, permanent objects, or one iteration frame)
+   split between the nursery and the old generation. *)
+type pop = { young : seg; old : seg }
+
+let pop () = { young = seg (); old = seg () }
+
+type t = {
+  cfg : Hconfig.t;
+  clk : Sim_clock.t;
+  stats : Gc_stats.t;
+  temp : seg;          (* nursery garbage-to-be: dead at the next minor GC *)
+  control : pop;
+  permanent : pop;
+  mutable frames : pop list;  (* innermost iteration first *)
+  dead_old : seg;      (* old-generation garbage awaiting a major GC *)
+  mutable young_used : int;
+  mutable native : int;
+  mutable peak : int;
+}
+
+let create ?clock cfg =
+  let clk = match clock with Some c -> c | None -> Sim_clock.create () in
+  {
+    cfg;
+    clk;
+    stats = Gc_stats.create ();
+    temp = seg ();
+    control = pop ();
+    permanent = pop ();
+    frames = [];
+    dead_old = seg ();
+    young_used = 0;
+    native = 0;
+    peak = 0;
+  }
+
+let clock t = t.clk
+let config t = t.cfg
+let stats t = t.stats
+
+let pops t = t.control :: t.permanent :: t.frames
+
+let live_objects t =
+  List.fold_left (fun acc p -> acc + p.young.objs + p.old.objs) 0 (pops t)
+
+let live_bytes t =
+  List.fold_left (fun acc p -> acc + p.young.bytes + p.old.bytes) 0 (pops t)
+
+let old_used t =
+  t.dead_old.bytes
+  + List.fold_left (fun acc p -> acc + p.old.bytes) 0 (pops t)
+
+let old_capacity t = t.cfg.Hconfig.heap_bytes - t.cfg.Hconfig.young_bytes
+
+let heap_used_bytes t = t.young_used + old_used t
+
+let native_bytes t = t.native
+
+let peak_memory_bytes t = t.peak
+
+let note_peak t =
+  let used = heap_used_bytes t + t.native in
+  if used > t.peak then t.peak <- used
+
+let charge_gc t s =
+  Sim_clock.charge t.clk Sim_clock.Gc s;
+  t.stats.Gc_stats.gc_seconds <- t.stats.Gc_stats.gc_seconds +. s
+
+let oom t =
+  raise (Out_of_memory { at_seconds = Sim_clock.total t.clk; live_bytes = live_bytes t })
+
+(* Mark-sweep-compact over the old generation: cost follows the live set. *)
+let major_gc t =
+  let c = t.cfg.Hconfig.costs in
+  let live_objs = ref 0 and live_b = ref 0 in
+  List.iter
+    (fun p ->
+      live_objs := !live_objs + p.old.objs;
+      live_b := !live_b + p.old.bytes)
+    (pops t);
+  charge_gc t
+    (c.Hconfig.major_fixed
+    +. (c.Hconfig.major_per_obj *. float_of_int !live_objs)
+    +. (c.Hconfig.major_per_byte *. float_of_int !live_b));
+  t.stats.Gc_stats.major_gcs <- t.stats.Gc_stats.major_gcs + 1;
+  t.stats.Gc_stats.objects_traced <- t.stats.Gc_stats.objects_traced + !live_objs;
+  seg_clear t.dead_old
+
+(* Copying scavenge: survivors are traced, copied, and promoted. *)
+let minor_gc t =
+  let c = t.cfg.Hconfig.costs in
+  let surv_objs = ref 0 and surv_b = ref 0 in
+  List.iter
+    (fun p ->
+      surv_objs := !surv_objs + p.young.objs;
+      surv_b := !surv_b + p.young.bytes)
+    (pops t);
+  charge_gc t
+    (c.Hconfig.minor_fixed
+    +. (c.Hconfig.minor_per_obj *. float_of_int !surv_objs)
+    +. (c.Hconfig.minor_per_byte *. float_of_int !surv_b));
+  t.stats.Gc_stats.minor_gcs <- t.stats.Gc_stats.minor_gcs + 1;
+  t.stats.Gc_stats.objects_traced <- t.stats.Gc_stats.objects_traced + !surv_objs;
+  t.stats.Gc_stats.bytes_copied <- t.stats.Gc_stats.bytes_copied + !surv_b;
+  List.iter
+    (fun p ->
+      seg_add p.old ~objs:p.young.objs ~bytes:p.young.bytes;
+      seg_clear p.young)
+    (pops t);
+  seg_clear t.temp;
+  t.young_used <- 0;
+  if old_used t > old_capacity t then begin
+    major_gc t;
+    if old_used t > old_capacity t then oom t
+  end
+
+let ensure_old_space t bytes =
+  if old_used t + bytes > old_capacity t then begin
+    major_gc t;
+    if old_used t + bytes > old_capacity t then oom t
+  end
+
+let current_pop t lifetime =
+  match lifetime with
+  | Control -> Some t.control
+  | Permanent -> Some t.permanent
+  | Iteration -> (
+      (* Outside any iteration, data allocated "before any iteration starts"
+         behaves like the paper's default page manager: it lives until the
+         thread terminates, i.e. permanently for our purposes. *)
+      match t.frames with [] -> Some t.permanent | f :: _ -> Some f)
+  | Temp -> None
+
+let record_alloc t ~count ~bytes_total =
+  t.stats.Gc_stats.objects_allocated <- t.stats.Gc_stats.objects_allocated + count;
+  t.stats.Gc_stats.bytes_allocated <- t.stats.Gc_stats.bytes_allocated + bytes_total
+
+let alloc_large t ~lifetime ~bytes =
+  ensure_old_space t bytes;
+  (match current_pop t lifetime with
+  | Some p -> seg_add p.old ~objs:1 ~bytes
+  | None -> seg_add t.dead_old ~objs:1 ~bytes);
+  record_alloc t ~count:1 ~bytes_total:bytes;
+  note_peak t
+
+let alloc_young t ~lifetime ~count ~bytes_each =
+  (match current_pop t lifetime with
+  | Some p -> seg_add p.young ~objs:count ~bytes:(count * bytes_each)
+  | None -> seg_add t.temp ~objs:count ~bytes:(count * bytes_each));
+  t.young_used <- t.young_used + (count * bytes_each);
+  record_alloc t ~count ~bytes_total:(count * bytes_each);
+  note_peak t
+
+let alloc t ~lifetime ~bytes =
+  if bytes < 0 then invalid_arg "Heap.alloc: negative size";
+  if bytes > t.cfg.Hconfig.young_bytes / 2 then alloc_large t ~lifetime ~bytes
+  else begin
+    if t.young_used + bytes > t.cfg.Hconfig.young_bytes then minor_gc t;
+    alloc_young t ~lifetime ~count:1 ~bytes_each:bytes
+  end
+
+let alloc_many t ~lifetime ~bytes_each ~count =
+  if bytes_each < 0 || count < 0 then invalid_arg "Heap.alloc_many: negative argument";
+  if bytes_each > t.cfg.Hconfig.young_bytes / 2 then
+    for _ = 1 to count do
+      alloc_large t ~lifetime ~bytes:bytes_each
+    done
+  else begin
+    let remaining = ref count in
+    while !remaining > 0 do
+      let room = t.cfg.Hconfig.young_bytes - t.young_used in
+      let fit = if bytes_each = 0 then !remaining else room / bytes_each in
+      if fit <= 0 then minor_gc t
+      else begin
+        let n = min !remaining fit in
+        alloc_young t ~lifetime ~count:n ~bytes_each;
+        remaining := !remaining - n
+      end
+    done
+  end
+
+let free_control t ~bytes ~count =
+  let take seg n b =
+    if seg.objs < n || seg.bytes < b then (0, 0)
+    else begin
+      seg.objs <- seg.objs - n;
+      seg.bytes <- seg.bytes - b;
+      (n, b)
+    end
+  in
+  (* Prefer the old generation: control objects being freed have typically
+     survived at least one scavenge. *)
+  let n, b = take t.control.old count bytes in
+  if n > 0 then seg_add t.dead_old ~objs:n ~bytes:b
+  else begin
+    let n, b = take t.control.young count bytes in
+    if n > 0 then seg_add t.temp ~objs:n ~bytes:b
+    else invalid_arg "Heap.free_control: freeing more than is live"
+  end
+
+let native_alloc t ~bytes =
+  if bytes < 0 then invalid_arg "Heap.native_alloc: negative size";
+  t.native <- t.native + bytes;
+  note_peak t
+
+let native_free t ~bytes =
+  if bytes < 0 || bytes > t.native then invalid_arg "Heap.native_free: bad size";
+  t.native <- t.native - bytes
+
+let iteration_start t = t.frames <- pop () :: t.frames
+
+let iteration_end t =
+  match t.frames with
+  | [] -> invalid_arg "Heap.iteration_end: no iteration open"
+  | f :: rest ->
+      t.frames <- rest;
+      (* The frame's young objects die in the nursery; its promoted objects
+         become old-generation garbage until the next major collection. *)
+      seg_add t.temp ~objs:f.young.objs ~bytes:f.young.bytes;
+      seg_add t.dead_old ~objs:f.old.objs ~bytes:f.old.bytes
+
+let iteration_depth t = List.length t.frames
+
+let force_major_gc t =
+  minor_gc t;
+  major_gc t

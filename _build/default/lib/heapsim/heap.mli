@@ -1,0 +1,77 @@
+(** Simulated managed heap with a parallel-generational collector.
+
+    The simulator tracks aggregate live/dead object populations (not
+    individual objects), segregated by lifetime class, and replays the
+    collector the paper evaluates against: a copying scavenge for the young
+    generation plus mark-sweep-compact for the old generation. GC pauses are
+    charged to a {!Sim_clock} using the cost model in {!Hconfig}.
+
+    Lifetime classes let frameworks declare liveness without tracing:
+    - [Temp]: dead by the next minor GC (boxed temporaries);
+    - [Iteration]: live until the innermost open iteration ends — this is
+      the class that makes object-mode GC expensive, because such objects
+      survive scavenges and are repeatedly traced by major GCs;
+    - [Control]: control-path objects, freed explicitly via {!free_control};
+    - [Permanent]: live for the whole execution. *)
+
+type lifetime = Temp | Iteration | Control | Permanent
+
+exception Out_of_memory of { at_seconds : float; live_bytes : int }
+(** Raised when a major collection cannot reclaim enough space. Mirrors the
+    JVM's [OutOfMemoryError]; [at_seconds] is the simulated time of death. *)
+
+type t
+
+val create : ?clock:Sim_clock.t -> Hconfig.t -> t
+(** A fresh heap; GC time is charged to [clock] (a private clock is created
+    when omitted). *)
+
+val clock : t -> Sim_clock.t
+val config : t -> Hconfig.t
+
+(** {2 Allocation} *)
+
+val alloc : t -> lifetime:lifetime -> bytes:int -> unit
+(** Allocate one object. May trigger GC; may raise {!Out_of_memory}. *)
+
+val alloc_many : t -> lifetime:lifetime -> bytes_each:int -> count:int -> unit
+(** Allocate [count] identical objects, triggering intermediate collections
+    exactly as a per-object loop would, in O(collections) time. *)
+
+val free_control : t -> bytes:int -> count:int -> unit
+(** Declare [count] control objects (totalling [bytes]) unreachable. *)
+
+(** {2 Native (off-heap) memory}
+
+    Pages allocated by the FACADE runtime are invisible to the collector but
+    count toward the process footprint (the paper's PM column). *)
+
+val native_alloc : t -> bytes:int -> unit
+val native_free : t -> bytes:int -> unit
+val native_bytes : t -> int
+
+(** {2 Iterations} *)
+
+val iteration_start : t -> unit
+(** Open a (possibly nested) iteration frame. *)
+
+val iteration_end : t -> unit
+(** Close the innermost frame: its [Iteration] objects become garbage,
+    reclaimed by subsequent collections. *)
+
+val iteration_depth : t -> int
+
+(** {2 Observation} *)
+
+val stats : t -> Gc_stats.t
+val live_objects : t -> int
+val live_bytes : t -> int
+val heap_used_bytes : t -> int
+(** Current heap occupancy including not-yet-collected garbage. *)
+
+val peak_memory_bytes : t -> int
+(** High-water mark of heap occupancy + native bytes (the paper samples this
+    from [pmap]). *)
+
+val force_major_gc : t -> unit
+(** Run a full collection now (used by tests and at shutdown). *)

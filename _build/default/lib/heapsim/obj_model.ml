@@ -1,0 +1,9 @@
+let object_header_bytes = 12
+let array_header_bytes = 16
+let reference_bytes = 4
+
+let align n = (n + 7) land lnot 7
+
+let object_bytes ~field_bytes = align (object_header_bytes + field_bytes)
+
+let array_bytes ~elem_bytes ~length = align (array_header_bytes + (elem_bytes * length))

@@ -1,0 +1,24 @@
+(** Sizes of Java heap objects under a 64-bit HotSpot-like layout.
+
+    The paper's §2.4 cost comparison rests on these constants: a regular
+    object header is 12 bytes (16 for arrays) on the managed heap, while a
+    FACADE page record spends only 4 bytes (8 for arrays). *)
+
+val object_header_bytes : int
+(** 12 — mark word (8) + compressed class pointer (4). *)
+
+val array_header_bytes : int
+(** 16 — object header + 4-byte length, padded to 8-byte alignment. *)
+
+val reference_bytes : int
+(** 4 — compressed oops. *)
+
+val align : int -> int
+(** Round a size up to the JVM's 8-byte object alignment. *)
+
+val object_bytes : field_bytes:int -> int
+(** Total heap footprint of an object whose instance fields occupy
+    [field_bytes]. *)
+
+val array_bytes : elem_bytes:int -> length:int -> int
+(** Total heap footprint of an array. *)

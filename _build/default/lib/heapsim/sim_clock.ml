@@ -1,0 +1,32 @@
+type category = Load | Update | Gc | Other
+
+type t = {
+  mutable load : float;
+  mutable update : float;
+  mutable gc : float;
+  mutable other : float;
+}
+
+let create () = { load = 0.0; update = 0.0; gc = 0.0; other = 0.0 }
+
+let charge t cat s =
+  if s < 0.0 then invalid_arg "Sim_clock.charge: negative time";
+  match cat with
+  | Load -> t.load <- t.load +. s
+  | Update -> t.update <- t.update +. s
+  | Gc -> t.gc <- t.gc +. s
+  | Other -> t.other <- t.other +. s
+
+let get t = function
+  | Load -> t.load
+  | Update -> t.update
+  | Gc -> t.gc
+  | Other -> t.other
+
+let total t = t.load +. t.update +. t.gc +. t.other
+
+let reset t =
+  t.load <- 0.0;
+  t.update <- 0.0;
+  t.gc <- 0.0;
+  t.other <- 0.0

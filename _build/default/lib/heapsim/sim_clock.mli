@@ -1,0 +1,16 @@
+(** Simulated-time accounting.
+
+    The paper reports execution time split into engine update time (UT),
+    data load time (LT), and GC time (GT) — Table 2's columns. A clock
+    accumulates each category in simulated seconds; total execution time is
+    their sum. *)
+
+type category = Load | Update | Gc | Other
+
+type t
+
+val create : unit -> t
+val charge : t -> category -> float -> unit
+val get : t -> category -> float
+val total : t -> float
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/hyracks/app_external_sort.ml: Array Char Engine Hcost Heapsim List Pagestore String Workloads

@@ -1,0 +1,1 @@
+lib/hyracks/app_external_sort.mli: Engine Workloads

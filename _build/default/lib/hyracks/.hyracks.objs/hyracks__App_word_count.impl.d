@@ -1,0 +1,1 @@
+lib/hyracks/app_word_count.ml: Array Char Engine Hashtbl Hcost Heapsim List Pagestore Seq String Workloads

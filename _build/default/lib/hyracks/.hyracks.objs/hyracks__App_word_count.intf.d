@@ -1,0 +1,1 @@
+lib/hyracks/app_word_count.mli: Engine Workloads

@@ -1,0 +1,1 @@
+lib/hyracks/engine.ml: Array Hcost Heapsim Pagestore

@@ -1,0 +1,1 @@
+lib/hyracks/engine.mli: Hcost Heapsim Pagestore

@@ -1,0 +1,1 @@
+lib/hyracks/hcost.ml:

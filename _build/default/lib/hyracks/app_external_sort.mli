@@ -1,0 +1,18 @@
+(** The ES job (paper §4.2): external merge sort.
+
+    Hyracks' sort path is already byte-buffer based ("optimized manually to
+    allow only byte buffers to store data"), so neither mode's memory
+    grows much with the dataset — both ES and ES′ scale to 19 GB. The wins
+    for ES′ come from the user-function data path: comparator temporaries
+    disappear and comparisons read compact page records, so the gain grows
+    with n·log n (paper: 6.5 % at 3 GB → 24.7 % at 19 GB). In facade mode
+    each sort run is one sub-iteration whose pages are recycled when the
+    run is spilled. *)
+
+type result = {
+  first : string list;  (** 20 smallest tokens, sorted *)
+  total_tokens : int;
+  runs : int;
+}
+
+val run : Engine.config -> Workloads.Text_gen.t -> result Engine.outcome

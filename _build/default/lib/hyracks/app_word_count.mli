@@ -1,0 +1,16 @@
+(** The WC job (paper §4.2): MapReduce-style word count.
+
+    Each worker scans its partition, builds per-word aggregation state that
+    lives for the whole operator, hash-shuffles, and reduces. In the
+    original program the aggregation entries are heap objects that the GC
+    traces for the whole job — the source of the OOM failures at ≥ 10 GB;
+    in the generated program they are compact page records in native
+    memory, with the hash index as the only heap-side control state. *)
+
+type result = {
+  top : (string * int) list;  (** 20 most frequent words (count desc, then word) *)
+  total_tokens : int;
+  distinct : int;
+}
+
+val run : Engine.config -> Workloads.Text_gen.t -> result Engine.outcome

@@ -1,0 +1,38 @@
+type t = {
+  scan_per_token : float;
+  map_per_token_object : float;
+  map_per_token_facade : float;
+  probe_per_token_object : float;
+  probe_per_token_facade : float;
+  cmp_object : float;
+  cmp_facade : float;
+  shuffle_per_byte : float;
+  reduce_per_key : float;
+  temps_per_token_object : float;
+  temps_per_token_facade : float;
+  temp_bytes : int;
+  entry_bytes_object : int;
+  entry_overhead_facade : int;
+  sort_buffer_bytes : int;
+}
+
+(* Calibrated against Table 3's ES/WC columns at 1000x byte down-scaling;
+   see EXPERIMENTS.md E3. *)
+let default =
+  {
+    scan_per_token = 4.5e-3;
+    map_per_token_object = 2.2e-3;
+    map_per_token_facade = 3.2e-3;
+    probe_per_token_object = 1.8e-3;
+    probe_per_token_facade = 2.8e-3;
+    cmp_object = 0.95e-3;
+    cmp_facade = 0.70e-3;
+    shuffle_per_byte = 20.0e-6;
+    reduce_per_key = 0.5e-3;
+    temps_per_token_object = 50.0;
+    temps_per_token_facade = 8.0;
+    temp_bytes = 40;
+    entry_bytes_object = 320;
+    entry_overhead_facade = 20;
+    sort_buffer_bytes = 64 * 1024;
+  }

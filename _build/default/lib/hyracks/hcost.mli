@@ -1,0 +1,30 @@
+(** Cost constants for the Hyracks analogue (Table 3 / Fig. 4(b,c)).
+
+    As with GraphChi (see {!Graphchi.Cost_model}), only the original
+    program's column is calibrated (against Table 3's ES/WC columns); the
+    facade column emerges from structural differences: no per-tuple data
+    objects, compact page records, but extra pool/page-management work —
+    which is exactly why WC′ loses on the small datasets (paper §4.2). *)
+
+type t = {
+  scan_per_token : float;        (** tokenising + frame decode, both modes *)
+  map_per_token_object : float;  (** building String/tuple objects (P) *)
+  map_per_token_facade : float;  (** pool access + page write (P′) — larger! *)
+  probe_per_token_object : float;(** hash probe + entry update through refs *)
+  probe_per_token_facade : float;(** hash probe + page read/write *)
+  cmp_object : float;            (** one sort comparison (P) *)
+  cmp_facade : float;            (** one sort comparison via pages (P′) *)
+  shuffle_per_byte : float;
+  reduce_per_key : float;
+  temps_per_token_object : float;
+  temps_per_token_facade : float;
+  temp_bytes : int;
+  entry_bytes_object : int;
+      (** String + HashMap.Entry + boxed count (P), folded with the ~2-3x
+          per-worker duplication of hot keys across the machine's eight
+          worker-local maps *)
+  entry_overhead_facade : int;   (** record overhead beyond the key bytes (P′) *)
+  sort_buffer_bytes : int;       (** per-worker byte-buffer sort capacity *)
+}
+
+val default : t

@@ -1,0 +1,1 @@
+lib/jir/hierarchy.ml: Ir Jtype List Program String

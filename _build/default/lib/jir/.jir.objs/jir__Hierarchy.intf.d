@@ -1,0 +1,1 @@
+lib/jir/hierarchy.mli: Ir Jtype Program

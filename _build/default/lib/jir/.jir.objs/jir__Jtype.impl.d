@@ -1,0 +1,1 @@
+lib/jir/jtype.ml: Format String

@@ -1,0 +1,1 @@
+lib/jir/jtype.mli: Format

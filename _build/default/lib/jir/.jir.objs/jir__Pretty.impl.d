@@ -1,0 +1,1 @@
+lib/jir/pretty.ml: Array Format Ir Jtype List Program String

@@ -1,0 +1,1 @@
+lib/jir/program.ml: Ir List Map Printf String

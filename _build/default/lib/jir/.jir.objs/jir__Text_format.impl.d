@@ -1,0 +1,1 @@
+lib/jir/text_format.ml: Array Buffer Float Ir Jtype List Option Printf Program Scanf String

@@ -1,0 +1,1 @@
+lib/jir/text_format.mli: Program

@@ -1,0 +1,1 @@
+lib/jir/verify.ml: Array Hashtbl Hierarchy Ir List Option Printf Program String

@@ -1,0 +1,130 @@
+type pending_block = {
+  id : int;
+  mutable rev_instrs : Ir.instr list;
+  mutable term : Ir.terminator option;
+}
+
+type t = {
+  name : string;
+  static : bool;
+  params : (Ir.var * Jtype.t) list;
+  ret_ty : Jtype.t option;
+  mutable locals : (Ir.var * Jtype.t) list;  (* reversed *)
+  mutable blocks : pending_block list;       (* reversed *)
+  mutable nblocks : int;
+  mutable nfresh : int;
+}
+
+type blk = { owner : t; pb : pending_block }
+
+let new_block t =
+  let pb = { id = t.nblocks; rev_instrs = []; term = None } in
+  t.nblocks <- t.nblocks + 1;
+  t.blocks <- pb :: t.blocks;
+  { owner = t; pb }
+
+let create ?(static = false) ?(params = []) ?ret name =
+  let t =
+    {
+      name;
+      static;
+      params;
+      ret_ty = ret;
+      locals = [];
+      blocks = [];
+      nblocks = 0;
+      nfresh = 0;
+    }
+  in
+  ignore (new_block t);
+  t
+
+let entry t =
+  match List.rev t.blocks with
+  | pb :: _ -> { owner = t; pb }
+  | [] -> assert false
+
+let block = new_block
+
+let declare t v ty =
+  match List.assoc_opt v t.locals with
+  | Some ty' when Jtype.equal ty ty' -> ()
+  | Some _ -> invalid_arg (Printf.sprintf "Builder.declare: %s redeclared with a new type" v)
+  | None ->
+      if List.mem_assoc v t.params then
+        invalid_arg (Printf.sprintf "Builder.declare: %s shadows a parameter" v);
+      t.locals <- (v, ty) :: t.locals
+
+let fresh t ?(name = "t") ty =
+  let v = Printf.sprintf "%s$%d" name t.nfresh in
+  t.nfresh <- t.nfresh + 1;
+  declare t v ty;
+  v
+
+let add b i = b.pb.rev_instrs <- i :: b.pb.rev_instrs
+
+let const_i b v n = add b (Ir.Const (v, Ir.Cint n))
+let const_f b v x = add b (Ir.Const (v, Ir.Cfloat x))
+let const_bool b v x = add b (Ir.Const (v, Ir.Cbool x))
+let const_null b v = add b (Ir.Const (v, Ir.Cnull))
+let move b ~dst ~src = add b (Ir.Move (dst, src))
+let binop b v op x y = add b (Ir.Binop (v, op, x, y))
+let new_obj b v c = add b (Ir.New (v, c))
+let new_array b v ty ~len = add b (Ir.New_array (v, ty, len))
+let fload b ~dst ~obj ~field = add b (Ir.Field_load (dst, obj, field))
+let fstore b ~obj ~field ~src = add b (Ir.Field_store (obj, field, src))
+let aload b ~dst ~arr ~idx = add b (Ir.Array_load (dst, arr, idx))
+let astore b ~arr ~idx ~src = add b (Ir.Array_store (arr, idx, src))
+let alen b ~dst ~arr = add b (Ir.Array_length (dst, arr))
+
+let call b ?ret ?recv ~kind ~cls ~name args =
+  add b (Ir.Call (ret, kind, cls, name, recv, args))
+
+let instance_of b ~dst ~src ty = add b (Ir.Instance_of (dst, src, ty))
+let monitor_enter b v = add b (Ir.Monitor_enter v)
+let monitor_exit b v = add b (Ir.Monitor_exit v)
+let iter_start b = add b Ir.Iter_start
+let iter_end b = add b Ir.Iter_end
+
+let set_term b term =
+  match b.pb.term with
+  | Some _ -> invalid_arg "Builder: block already terminated"
+  | None -> b.pb.term <- Some term
+
+let ret b v = set_term b (Ir.Ret v)
+let jump b target = set_term b (Ir.Jump target.pb.id)
+let branch b v ~then_ ~else_ = set_term b (Ir.Branch (v, then_.pb.id, else_.pb.id))
+
+let finish t =
+  let blocks = List.rev t.blocks in
+  let body =
+    Array.of_list
+      (List.map
+         (fun pb ->
+           {
+             Ir.instrs = List.rev pb.rev_instrs;
+             term = (match pb.term with Some tm -> tm | None -> Ir.Ret None);
+           })
+         blocks)
+  in
+  {
+    Ir.mname = t.name;
+    mstatic = t.static;
+    params = t.params;
+    mret = t.ret_ty;
+    locals = List.rev t.locals;
+    body;
+  }
+
+let field ?(static = false) ?init fname ftype =
+  { Ir.fname; ftype; fstatic = static; finit = init }
+
+let cls ?super ?(interfaces = []) ?(fields = []) ?(methods = []) ?(interface = false) cname =
+  {
+    Ir.cname;
+    super;
+    interfaces;
+    cfields = fields;
+    cmethods = methods;
+    cinterface = interface;
+  }

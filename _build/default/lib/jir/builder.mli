@@ -1,0 +1,89 @@
+(** Ergonomic construction of jir methods, classes, and programs.
+
+    A method builder accumulates typed locals and basic blocks; block
+    handles append instructions and set a terminator exactly once. Blocks
+    are numbered in creation order, so forward branches are expressed by
+    creating the target block first. *)
+
+type t
+(** A method under construction. *)
+
+type blk
+(** A handle on one basic block. *)
+
+val create :
+  ?static:bool ->
+  ?params:(Ir.var * Jtype.t) list ->
+  ?ret:Jtype.t ->
+  string ->
+  t
+(** [create name] starts a method. Instance methods (the default) receive
+    the implicit [this] receiver at run time. *)
+
+val entry : t -> blk
+(** The entry block (block 0), created with the builder. *)
+
+val block : t -> blk
+(** Append a fresh block. *)
+
+val declare : t -> Ir.var -> Jtype.t -> unit
+(** Declare a local. Re-declaring with the same type is a no-op;
+    re-declaring with a different type raises [Invalid_argument]. *)
+
+val fresh : t -> ?name:string -> Jtype.t -> Ir.var
+(** Declare and return a uniquely named local. *)
+
+val add : blk -> Ir.instr -> unit
+(** Append a raw instruction. *)
+
+(** {2 Instruction sugar} — each appends to the block *)
+
+val const_i : blk -> Ir.var -> int -> unit
+val const_f : blk -> Ir.var -> float -> unit
+val const_bool : blk -> Ir.var -> bool -> unit
+val const_null : blk -> Ir.var -> unit
+val move : blk -> dst:Ir.var -> src:Ir.var -> unit
+val binop : blk -> Ir.var -> Ir.binop -> Ir.var -> Ir.var -> unit
+val new_obj : blk -> Ir.var -> string -> unit
+val new_array : blk -> Ir.var -> Jtype.t -> len:Ir.var -> unit
+val fload : blk -> dst:Ir.var -> obj:Ir.var -> field:string -> unit
+val fstore : blk -> obj:Ir.var -> field:string -> src:Ir.var -> unit
+val aload : blk -> dst:Ir.var -> arr:Ir.var -> idx:Ir.var -> unit
+val astore : blk -> arr:Ir.var -> idx:Ir.var -> src:Ir.var -> unit
+val alen : blk -> dst:Ir.var -> arr:Ir.var -> unit
+val call :
+  blk ->
+  ?ret:Ir.var ->
+  ?recv:Ir.var ->
+  kind:Ir.call_kind ->
+  cls:string ->
+  name:string ->
+  Ir.var list ->
+  unit
+val instance_of : blk -> dst:Ir.var -> src:Ir.var -> Jtype.t -> unit
+val monitor_enter : blk -> Ir.var -> unit
+val monitor_exit : blk -> Ir.var -> unit
+val iter_start : blk -> unit
+val iter_end : blk -> unit
+
+(** {2 Terminators} — each may be called once per block *)
+
+val ret : blk -> Ir.var option -> unit
+val jump : blk -> blk -> unit
+val branch : blk -> Ir.var -> then_:blk -> else_:blk -> unit
+
+val finish : t -> Ir.meth
+(** Assemble the method. Unterminated blocks default to [Ret None]. *)
+
+(** {2 Classes and fields} *)
+
+val field : ?static:bool -> ?init:Ir.const -> string -> Jtype.t -> Ir.field
+
+val cls :
+  ?super:string ->
+  ?interfaces:string list ->
+  ?fields:Ir.field list ->
+  ?methods:Ir.meth list ->
+  ?interface:bool ->
+  string ->
+  Ir.cls

@@ -1,0 +1,32 @@
+(** Class-hierarchy queries: super chains, subtyping, inherited field
+    layout, and (CHA) virtual-method resolution. *)
+
+val super_chain : Program.t -> string -> string list
+(** [super_chain p c] is [c]'s proper superclasses, nearest first, ending
+    before [java.lang.Object] (which is implicit and not in the program). *)
+
+val subclasses : Program.t -> string -> string list
+(** All transitive subclasses of [c] present in the program. *)
+
+val is_subclass : Program.t -> sub:string -> super:string -> bool
+(** Reflexive: [is_subclass ~sub:c ~super:c] is true. [java.lang.Object] is
+    a superclass of everything. *)
+
+val implements : Program.t -> cls:string -> intf:string -> bool
+(** Does [cls] (or an ancestor) implement interface [intf] (transitively)? *)
+
+val is_assignable : Program.t -> from_:Jtype.t -> to_:Jtype.t -> bool
+(** Java assignment compatibility over jir types. *)
+
+val all_instance_fields : Program.t -> string -> (string * Ir.field) list
+(** Instance fields in layout order: superclass fields first (paper §3.1's
+    type-closed-world assumption makes this well defined). Each is paired
+    with the declaring class. *)
+
+val resolve_method : Program.t -> cls:string -> name:string -> Ir.meth option
+(** Walk [cls] then its super chain for a concrete method named [name]. *)
+
+val concrete_subtype : Program.t -> string -> string option
+(** An arbitrary concrete class implementing/extending the given (possibly
+    abstract/interface) type — paper §3.3 uses this to attribute
+    abstract-typed parameters to a pool. *)

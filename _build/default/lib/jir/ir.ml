@@ -1,0 +1,93 @@
+type var = string
+
+type const =
+  | Cint of int
+  | Cfloat of float
+  | Cbool of bool
+  | Cnull
+  | Cstr of string
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or | Xor | Shl | Shr
+
+type unop = Neg | Not
+
+type call_kind = Virtual | Special | Static
+
+type operand = Var of var | Imm of const
+
+type instr =
+  | Const of var * const
+  | Move of var * var
+  | Binop of var * binop * var * var
+  | Unop of var * unop * var
+  | New of var * string
+  | New_array of var * Jtype.t * var
+  | Field_load of var * var * string
+  | Field_store of var * string * var
+  | Static_load of var * string * string
+  | Static_store of string * string * var
+  | Array_load of var * var * var
+  | Array_store of var * var * var
+  | Array_length of var * var
+  | Call of var option * call_kind * string * string * var option * var list
+  | Instance_of of var * var * Jtype.t
+  | Cast of var * var * Jtype.t
+  | Monitor_enter of var
+  | Monitor_exit of var
+  | Iter_start
+  | Iter_end
+  | Intrinsic of var option * string * operand list
+
+type terminator =
+  | Ret of var option
+  | Jump of int
+  | Branch of var * int * int
+
+type block = {
+  instrs : instr list;
+  term : terminator;
+}
+
+type meth = {
+  mname : string;
+  mstatic : bool;
+  params : (var * Jtype.t) list;
+  mret : Jtype.t option;
+  locals : (var * Jtype.t) list;
+  body : block array;
+}
+
+type field = {
+  fname : string;
+  ftype : Jtype.t;
+  fstatic : bool;
+  finit : const option;
+}
+
+type cls = {
+  cname : string;
+  super : string option;
+  interfaces : string list;
+  cfields : field list;
+  cmethods : meth list;
+  cinterface : bool;
+}
+
+let var_type m v =
+  match List.assoc_opt v m.params with
+  | Some t -> Some t
+  | None -> List.assoc_opt v m.locals
+
+let instr_count m =
+  Array.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 m.body
+
+let method_instr_count c =
+  List.fold_left (fun acc m -> acc + instr_count m) 0 c.cmethods
+
+let map_blocks f m = { m with body = Array.mapi f m.body }
+
+let iter_instrs f m =
+  Array.iter (fun b -> List.iter f b.instrs) m.body

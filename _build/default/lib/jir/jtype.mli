@@ -1,0 +1,27 @@
+(** Types of the jir language — a faithful subset of Java's type system:
+    primitives, class/interface references, and arrays. *)
+
+type prim = Bool | Byte | Char | Short | Int | Long | Float | Double
+
+type t =
+  | Prim of prim
+  | Ref of string   (** class or interface, by name *)
+  | Array of t
+
+val object_class : string
+(** ["java.lang.Object"], the hierarchy root. *)
+
+val string_class : string
+(** ["java.lang.String"]; strings are modelled as an opaque data class. *)
+
+val equal : t -> t -> bool
+val is_reference : t -> bool
+
+val element : t -> t
+(** Element type of an array type. Raises [Invalid_argument] otherwise. *)
+
+val prim_page_bytes : prim -> int
+(** On-page width of a primitive field (matches {!Pagestore.Layout_rt}). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,94 @@
+open Format
+
+let pp_const ppf = function
+  | Ir.Cint n -> fprintf ppf "%d" n
+  | Ir.Cfloat x -> fprintf ppf "%g" x
+  | Ir.Cbool b -> fprintf ppf "%b" b
+  | Ir.Cnull -> pp_print_string ppf "null"
+  | Ir.Cstr s -> fprintf ppf "%S" s
+
+let binop_str = function
+  | Ir.Add -> "+" | Ir.Sub -> "-" | Ir.Mul -> "*" | Ir.Div -> "/" | Ir.Rem -> "%"
+  | Ir.Lt -> "<" | Ir.Le -> "<=" | Ir.Gt -> ">" | Ir.Ge -> ">=" | Ir.Eq -> "=="
+  | Ir.Ne -> "!=" | Ir.And -> "&" | Ir.Or -> "|" | Ir.Xor -> "^" | Ir.Shl -> "<<"
+  | Ir.Shr -> ">>"
+
+let pp_operand ppf = function
+  | Ir.Var v -> pp_print_string ppf v
+  | Ir.Imm c -> pp_const ppf c
+
+let pp_args pp ppf args =
+  pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp ppf args
+
+let pp_instr ppf = function
+  | Ir.Const (v, c) -> fprintf ppf "%s = %a" v pp_const c
+  | Ir.Move (a, b) -> fprintf ppf "%s = %s" a b
+  | Ir.Binop (v, op, x, y) -> fprintf ppf "%s = %s %s %s" v x (binop_str op) y
+  | Ir.Unop (v, Ir.Neg, x) -> fprintf ppf "%s = -%s" v x
+  | Ir.Unop (v, Ir.Not, x) -> fprintf ppf "%s = !%s" v x
+  | Ir.New (v, c) -> fprintf ppf "%s = new %s" v c
+  | Ir.New_array (v, ty, n) -> fprintf ppf "%s = new %a[%s]" v Jtype.pp ty n
+  | Ir.Field_load (b, a, f) -> fprintf ppf "%s = %s.%s" b a f
+  | Ir.Field_store (a, f, b) -> fprintf ppf "%s.%s = %s" a f b
+  | Ir.Static_load (b, c, f) -> fprintf ppf "%s = %s.%s" b c f
+  | Ir.Static_store (c, f, b) -> fprintf ppf "%s.%s = %s" c f b
+  | Ir.Array_load (b, a, i) -> fprintf ppf "%s = %s[%s]" b a i
+  | Ir.Array_store (a, i, b) -> fprintf ppf "%s[%s] = %s" a i b
+  | Ir.Array_length (b, a) -> fprintf ppf "%s = %s.length" b a
+  | Ir.Call (ret, kind, c, m, recv, args) ->
+      let kind_str =
+        match kind with Ir.Virtual -> "virtual" | Ir.Special -> "special" | Ir.Static -> "static"
+      in
+      (match ret with Some r -> fprintf ppf "%s = " r | None -> ());
+      (match recv with Some r -> fprintf ppf "%s." r | None -> ());
+      fprintf ppf "%s.%s(%a) [%s]" c m (pp_args pp_print_string) args kind_str
+  | Ir.Instance_of (t, a, ty) -> fprintf ppf "%s = %s instanceof %a" t a Jtype.pp ty
+  | Ir.Cast (a, b, ty) -> fprintf ppf "%s = (%a) %s" a Jtype.pp ty b
+  | Ir.Monitor_enter v -> fprintf ppf "monitorenter %s" v
+  | Ir.Monitor_exit v -> fprintf ppf "monitorexit %s" v
+  | Ir.Iter_start -> pp_print_string ppf "iteration_start()"
+  | Ir.Iter_end -> pp_print_string ppf "iteration_end()"
+  | Ir.Intrinsic (ret, name, args) ->
+      (match ret with Some r -> fprintf ppf "%s = " r | None -> ());
+      fprintf ppf "@%s(%a)" name (pp_args pp_operand) args
+
+let pp_terminator ppf = function
+  | Ir.Ret None -> pp_print_string ppf "return"
+  | Ir.Ret (Some v) -> fprintf ppf "return %s" v
+  | Ir.Jump b -> fprintf ppf "goto b%d" b
+  | Ir.Branch (v, t, e) -> fprintf ppf "if %s goto b%d else b%d" v t e
+
+let pp_meth ppf (m : Ir.meth) =
+  fprintf ppf "  @[<v 2>%s%s(%a)%s {@,"
+    (if m.Ir.mstatic then "static " else "")
+    m.Ir.mname
+    (pp_args (fun ppf (v, ty) -> fprintf ppf "%a %s" Jtype.pp ty v))
+    m.Ir.params
+    (match m.Ir.mret with Some ty -> " : " ^ Jtype.to_string ty | None -> "");
+  List.iter (fun (v, ty) -> fprintf ppf "local %a %s;@," Jtype.pp ty v) m.Ir.locals;
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      fprintf ppf "b%d:@," i;
+      List.iter (fun ins -> fprintf ppf "  %a;@," pp_instr ins) b.Ir.instrs;
+      fprintf ppf "  %a;@," pp_terminator b.Ir.term)
+    m.Ir.body;
+  fprintf ppf "}@]"
+
+let pp_cls ppf (c : Ir.cls) =
+  fprintf ppf "@[<v 0>%s %s" (if c.Ir.cinterface then "interface" else "class") c.Ir.cname;
+  (match c.Ir.super with Some s -> fprintf ppf " extends %s" s | None -> ());
+  if c.Ir.interfaces <> [] then
+    fprintf ppf " implements %s" (String.concat ", " c.Ir.interfaces);
+  fprintf ppf " {@,";
+  List.iter
+    (fun (f : Ir.field) ->
+      fprintf ppf "  %s%a %s;@," (if f.Ir.fstatic then "static " else "") Jtype.pp f.Ir.ftype
+        f.Ir.fname)
+    c.Ir.cfields;
+  List.iter (fun m -> fprintf ppf "%a@," pp_meth m) c.Ir.cmethods;
+  fprintf ppf "}@]"
+
+let pp_program ppf p =
+  List.iter (fun c -> fprintf ppf "%a@.@." pp_cls c) (Program.classes p)
+
+let program_to_string p = Format.asprintf "%a" pp_program p

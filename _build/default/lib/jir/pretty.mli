@@ -1,0 +1,9 @@
+(** Jimple-style pretty-printing of jir programs, for debugging and for the
+    compiler's transformation report. *)
+
+val pp_instr : Format.formatter -> Ir.instr -> unit
+val pp_terminator : Format.formatter -> Ir.terminator -> unit
+val pp_meth : Format.formatter -> Ir.meth -> unit
+val pp_cls : Format.formatter -> Ir.cls -> unit
+val pp_program : Format.formatter -> Program.t -> unit
+val program_to_string : Program.t -> string

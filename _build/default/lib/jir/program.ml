@@ -1,0 +1,49 @@
+module Smap = Map.Make (String)
+
+type t = {
+  by_name : Ir.cls Smap.t;
+  order : string list;  (* insertion order, reversed *)
+  entry : string * string;
+}
+
+let make ?(entry = ("Main", "main")) classes =
+  let by_name, order =
+    List.fold_left
+      (fun (m, o) (c : Ir.cls) ->
+        if Smap.mem c.Ir.cname m then
+          invalid_arg (Printf.sprintf "Program.make: duplicate class %s" c.Ir.cname);
+        (Smap.add c.Ir.cname c m, c.Ir.cname :: o))
+      (Smap.empty, []) classes
+  in
+  { by_name; order; entry }
+
+let classes t = List.rev_map (fun n -> Smap.find n t.by_name) t.order
+
+let entry t = t.entry
+
+let find_class t n = Smap.find_opt n t.by_name
+
+let get_class t n =
+  match find_class t n with Some c -> c | None -> raise Not_found
+
+let mem t n = Smap.mem n t.by_name
+
+let find_method t ~cls ~name =
+  match find_class t cls with
+  | None -> None
+  | Some c -> List.find_opt (fun (m : Ir.meth) -> String.equal m.Ir.mname name) c.Ir.cmethods
+
+let add_class t c =
+  if Smap.mem c.Ir.cname t.by_name then
+    invalid_arg (Printf.sprintf "Program.add_class: duplicate class %s" c.Ir.cname);
+  { t with by_name = Smap.add c.Ir.cname c t.by_name; order = c.Ir.cname :: t.order }
+
+let replace_class t c =
+  if not (Smap.mem c.Ir.cname t.by_name) then
+    invalid_arg (Printf.sprintf "Program.replace_class: unknown class %s" c.Ir.cname);
+  { t with by_name = Smap.add c.Ir.cname c t.by_name }
+
+let total_instrs t =
+  Smap.fold (fun _ c acc -> acc + Ir.method_instr_count c) t.by_name 0
+
+let fold f t acc = List.fold_left (fun acc c -> f c acc) acc (classes t)

@@ -1,0 +1,28 @@
+(** A whole jir program: a closed set of classes plus an entry point. *)
+
+type t
+
+val make : ?entry:string * string -> Ir.cls list -> t
+(** [make classes] builds a program. [entry] is a [(class, static method)]
+    pair; defaults to ["Main", "main"]. Raises [Invalid_argument] on
+    duplicate class names. *)
+
+val classes : t -> Ir.cls list
+(** In insertion order. *)
+
+val entry : t -> string * string
+
+val find_class : t -> string -> Ir.cls option
+val get_class : t -> string -> Ir.cls
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+
+val find_method : t -> cls:string -> name:string -> Ir.meth option
+(** The method as declared on [cls] itself (no inheritance walk). *)
+
+val add_class : t -> Ir.cls -> t
+val replace_class : t -> Ir.cls -> t
+val total_instrs : t -> int
+
+val fold : (Ir.cls -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,0 +1,17 @@
+(** Well-formedness checking of jir programs.
+
+    The verifier enforces the structural invariants the transformation and
+    the VM rely on: every used variable is declared (parameters, locals, or
+    the implicit [this]), branch targets exist, referenced classes, fields,
+    and methods resolve, and class hierarchies are acyclic. *)
+
+type error = {
+  where : string;  (** "Class.method" or "Class" *)
+  what : string;
+}
+
+val check_program : Program.t -> error list
+(** Empty list means well-formed. *)
+
+val check_or_fail : Program.t -> unit
+(** Raises [Failure] with a readable message if any error is found. *)

@@ -1,0 +1,27 @@
+type claim = {
+  experiment : string;
+  description : string;
+  paper_value : string;
+  measured : string;
+  holds : bool;
+}
+
+let claim ~experiment ~description ~paper_value ~measured ~holds =
+  { experiment; description; paper_value; measured; holds }
+
+let render claims =
+  let t = Table.create ~headers:[ "Experiment"; "Claim"; "Paper"; "Measured"; "Verdict" ] in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          c.experiment;
+          c.description;
+          c.paper_value;
+          c.measured;
+          (if c.holds then "PASS" else "DIVERGES");
+        ])
+    claims;
+  Table.render t
+
+let all_hold claims = List.for_all (fun c -> c.holds) claims

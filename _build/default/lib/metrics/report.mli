@@ -1,0 +1,27 @@
+(** Paper-vs-measured comparison records.
+
+    Each experiment registers the qualitative claims the paper makes (who
+    wins, by what factor) together with the measured outcome, so the harness
+    can print a verdict per table/figure and EXPERIMENTS.md can be checked
+    against a run. *)
+
+type claim = {
+  experiment : string;   (** e.g. "Table 2" *)
+  description : string;  (** e.g. "PR' faster than PR at every heap size" *)
+  paper_value : string;  (** the paper's number or range *)
+  measured : string;     (** what this run measured *)
+  holds : bool;          (** does the qualitative shape hold? *)
+}
+
+val claim :
+  experiment:string ->
+  description:string ->
+  paper_value:string ->
+  measured:string ->
+  holds:bool ->
+  claim
+
+val render : claim list -> string
+(** A summary table of claims with a PASS/DIVERGES verdict column. *)
+
+val all_hold : claim list -> bool

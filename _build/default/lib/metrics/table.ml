@@ -1,0 +1,56 @@
+type t = {
+  headers : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row =
+  let n = List.length t.headers in
+  let k = List.length row in
+  if k > n then invalid_arg "Table.add_row: row longer than header";
+  let row = if k < n then row @ List.init (n - k) (fun _ -> "") else row in
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row
+  in
+  List.iter measure all;
+  let buf = Buffer.create 256 in
+  let emit row =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf c;
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length c) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  let total = Array.fold_left ( + ) (2 * (ncols - 1)) widths in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
+
+let cell_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Plain-text aligned table rendering for the benchmark harness. *)
+
+type t
+
+val create : headers:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val render : t -> string
+(** Render with a header separator; columns are padded to the widest cell. *)
+
+val print : t -> unit
+
+val cell_float : ?decimals:int -> float -> string
+val cell_int : int -> string
+(** Thousands-separated integer, e.g. ["14,257,280,923"]. *)

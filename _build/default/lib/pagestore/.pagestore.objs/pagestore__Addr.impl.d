@@ -1,0 +1,1 @@
+lib/pagestore/addr.ml: Format Int

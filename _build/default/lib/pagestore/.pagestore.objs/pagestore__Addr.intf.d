@@ -1,0 +1,1 @@
+lib/pagestore/addr.mli: Format

@@ -1,0 +1,1 @@
+lib/pagestore/bitvec.ml: Array Atomic

@@ -1,0 +1,1 @@
+lib/pagestore/facade_pool.ml: Addr Array Printf

@@ -1,0 +1,1 @@
+lib/pagestore/facade_pool.mli: Addr

@@ -1,0 +1,1 @@
+lib/pagestore/layout_rt.mli:

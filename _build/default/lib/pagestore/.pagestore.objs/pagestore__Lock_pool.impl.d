@@ -1,0 +1,1 @@
+lib/pagestore/lock_pool.ml: Array Bitvec Layout_rt Mutex Store

@@ -1,0 +1,1 @@
+lib/pagestore/lock_pool.mli: Addr Store

@@ -1,0 +1,1 @@
+lib/pagestore/page.ml: Bigarray Char Int32 Int64

@@ -1,0 +1,1 @@
+lib/pagestore/page.mli:

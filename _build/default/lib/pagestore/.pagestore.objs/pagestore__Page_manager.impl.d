@@ -1,0 +1,1 @@
+lib/pagestore/page_manager.ml: Addr Array List Page_pool Size_class

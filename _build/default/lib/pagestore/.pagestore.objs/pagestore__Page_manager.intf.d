@@ -1,0 +1,1 @@
+lib/pagestore/page_manager.mli: Addr Page_pool

@@ -1,0 +1,1 @@
+lib/pagestore/page_pool.ml: Array Mutex Page

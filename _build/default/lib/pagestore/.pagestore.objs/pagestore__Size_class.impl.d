@@ -1,0 +1,1 @@
+lib/pagestore/size_class.ml: Array

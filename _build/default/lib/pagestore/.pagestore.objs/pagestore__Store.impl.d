@@ -1,0 +1,1 @@
+lib/pagestore/store.ml: Addr Hashtbl Layout_rt List Page Page_manager Page_pool Printf

@@ -1,0 +1,1 @@
+lib/pagestore/store.mli: Addr Page_pool

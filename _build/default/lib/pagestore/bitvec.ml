@@ -1,0 +1,62 @@
+let bits_per_word = 62
+
+type t = {
+  n : int;
+  words : int Atomic.t array;
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Bitvec.create: non-positive length";
+  let nwords = (n + bits_per_word - 1) / bits_per_word in
+  { n; words = Array.init nwords (fun _ -> Atomic.make 0) }
+
+let length t = t.n
+
+let valid_bits t w =
+  (* Number of meaningful bits in word [w]. *)
+  min bits_per_word (t.n - (w * bits_per_word))
+
+(* Index of the lowest clear bit among the low [limit] bits, or -1. *)
+let lowest_clear v ~limit =
+  let rec go i = if i >= limit then -1 else if v land (1 lsl i) = 0 then i else go (i + 1) in
+  go 0
+
+let acquire_first_free t =
+  let nwords = Array.length t.words in
+  let rec try_word w =
+    if w >= nwords then None
+    else
+      let v = Atomic.get t.words.(w) in
+      match lowest_clear v ~limit:(valid_bits t w) with
+      | -1 -> try_word (w + 1)
+      | b ->
+          if Atomic.compare_and_set t.words.(w) v (v lor (1 lsl b)) then
+            Some ((w * bits_per_word) + b)
+          else try_word w (* contention: retry the same word *)
+  in
+  try_word 0
+
+let clear t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitvec.clear: index out of range";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  let rec loop () =
+    let v = Atomic.get t.words.(w) in
+    if v land (1 lsl b) = 0 then invalid_arg "Bitvec.clear: bit already clear";
+    if not (Atomic.compare_and_set t.words.(w) v (v land lnot (1 lsl b))) then loop ()
+  in
+  loop ()
+
+let is_set t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitvec.is_set: index out of range";
+  Atomic.get t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let count_set t =
+  Array.fold_left
+    (fun acc w ->
+      let v = ref (Atomic.get w) and c = ref 0 in
+      while !v <> 0 do
+        v := !v land (!v - 1);
+        incr c
+      done;
+      acc + !c)
+    0 t.words

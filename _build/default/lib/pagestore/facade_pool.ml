@@ -1,0 +1,41 @@
+type facade = {
+  ftype : int;
+  slot : int;
+  mutable page_ref : Addr.t;
+}
+
+type t = {
+  params : facade array array;  (* indexed by type id *)
+  receivers : facade array;
+}
+
+let create ~bounds =
+  let params =
+    Array.mapi
+      (fun ty bound ->
+        Array.init bound (fun slot -> { ftype = ty; slot; page_ref = Addr.null }))
+      bounds
+  in
+  let receivers =
+    Array.init (Array.length bounds) (fun ty -> { ftype = ty; slot = -1; page_ref = Addr.null })
+  in
+  { params; receivers }
+
+let param t ~type_id ~index =
+  let pool = t.params.(type_id) in
+  if index < 0 || index >= Array.length pool then
+    invalid_arg
+      (Printf.sprintf "Facade_pool.param: index %d exceeds static bound %d for type %d"
+         index (Array.length pool) type_id);
+  pool.(index)
+
+let receiver t ~type_id = t.receivers.(type_id)
+
+let bind f addr = f.page_ref <- addr
+
+let read f = f.page_ref
+
+let total_facades t =
+  Array.fold_left (fun acc pool -> acc + Array.length pool) (Array.length t.receivers) t.params
+
+let bound t ~type_id = Array.length t.params.(type_id)

@@ -1,0 +1,43 @@
+(** Per-thread facade pools (paper §2.3, §3.3, Figure 3).
+
+    A facade is a heap object used only to carry a page reference across a
+    control instruction (a call, a return, a dynamic type check). For each
+    data type a thread owns one *parameter pool* — an array whose length is
+    the compile-time bound computed by the compiler ([Bounds]) — and one
+    single-element *receiver pool* used by [resolve] at virtual dispatch.
+    Facades are never requested or returned at run time: the compiler emits
+    direct indexing, and the binding discipline (bind, then immediately
+    read) keeps every slot perpetually reusable. *)
+
+type facade = {
+  ftype : int;                 (** type id of the facade's class *)
+  slot : int;                  (** index in its pool; -1 for receivers *)
+  mutable page_ref : Addr.t;   (** the carried reference; the paper's [pageRef] *)
+}
+
+type t
+(** All pools of one thread (one [Pools] instance). *)
+
+val create : bounds:int array -> t
+(** [bounds.(type_id)] is the parameter-pool length for that type. Pools
+    are populated eagerly, as the generated [Pools.init] does. *)
+
+val param : t -> type_id:int -> index:int -> facade
+(** The [index]-th parameter facade of a type. Raises [Invalid_argument]
+    if [index] exceeds the static bound — the generated code can never do
+    this if the bound computation is correct, which tests rely on. *)
+
+val receiver : t -> type_id:int -> facade
+(** The type's single receiver facade (the pool [resolve] draws from). *)
+
+val bind : facade -> Addr.t -> unit
+(** Set the facade's page reference. *)
+
+val read : facade -> Addr.t
+(** Load the carried reference onto the "stack"; after this the facade is
+    reusable (paper §2.3). *)
+
+val total_facades : t -> int
+(** Total heap objects these pools pin: Σ bounds + one receiver per type. *)
+
+val bound : t -> type_id:int -> int

@@ -1,0 +1,15 @@
+let type_id_offset = 0
+let lock_offset = 2
+let length_offset = 4
+
+let record_header_bytes = 4
+let array_header_bytes = 8
+
+let max_type_id = (1 lsl 15) - 1
+let max_lock_id = (1 lsl 15) - 1
+
+let field_bytes = function
+  | `Bool | `Byte -> 1
+  | `Char | `Short -> 2
+  | `Int | `Float -> 4
+  | `Long | `Double | `Ref -> 8

@@ -1,0 +1,30 @@
+(** Runtime record layout (paper §2.1 and Figure 1).
+
+    Every data record begins with a 2-byte type ID and a 2-byte lock field.
+    Array records additionally store their 4-byte length. Data fields (or
+    array elements) follow. These constants are shared by the compiler's
+    layout computation and the page store's accessors. *)
+
+val type_id_offset : int
+(** 0 *)
+
+val lock_offset : int
+(** 2 *)
+
+val length_offset : int
+(** 4 — arrays only *)
+
+val record_header_bytes : int
+(** 4 — the paper's "4-byte header" claim *)
+
+val array_header_bytes : int
+(** 8 — header + length *)
+
+val max_type_id : int
+(** 2-byte type IDs: the number of data classes must stay below 2^15. *)
+
+val max_lock_id : int
+
+val field_bytes : [ `Bool | `Byte | `Char | `Short | `Int | `Float | `Long | `Double | `Ref ] -> int
+(** On-page width of one field of the given kind; references are stored as
+    8-byte page references. *)

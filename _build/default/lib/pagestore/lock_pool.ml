@@ -1,0 +1,92 @@
+exception Pool_exhausted
+
+type lock = {
+  id : int;
+  mu : Mutex.t;
+  mutable owner : int;    (* logical thread id; -1 when unowned *)
+  mutable entries : int;  (* reentrancy depth *)
+  mutable blockers : int; (* threads inside or waiting on this lock *)
+}
+
+type t = {
+  registry : Mutex.t;  (* serializes lock-field assignment and recycling *)
+  locks : lock array;
+  bits : Bitvec.t;
+  mutable in_use : int;
+  mutable peak : int;
+}
+
+let create ?(capacity = 512) () =
+  if capacity <= 0 || capacity > Layout_rt.max_lock_id then
+    invalid_arg "Lock_pool.create: capacity out of range";
+  {
+    registry = Mutex.create ();
+    locks =
+      Array.init capacity (fun id ->
+          { id; mu = Mutex.create (); owner = -1; entries = 0; blockers = 0 });
+    bits = Bitvec.create capacity;
+    in_use = 0;
+    peak = 0;
+  }
+
+let capacity t = Array.length t.locks
+
+let monitor_enter t store addr ~thread =
+  Mutex.lock t.registry;
+  let field = Store.get_lock_field store addr in
+  let l =
+    if field = 0 then begin
+      match Bitvec.acquire_first_free t.bits with
+      | None ->
+          Mutex.unlock t.registry;
+          raise Pool_exhausted
+      | Some id ->
+          t.in_use <- t.in_use + 1;
+          if t.in_use > t.peak then t.peak <- t.in_use;
+          Store.set_lock_field store addr (id + 1);
+          t.locks.(id)
+    end
+    else t.locks.(field - 1)
+  in
+  if l.owner = thread then begin
+    (* Reentrant entry: the intrinsic lock is already held by this thread. *)
+    l.entries <- l.entries + 1;
+    Mutex.unlock t.registry
+  end
+  else begin
+    l.blockers <- l.blockers + 1;
+    Mutex.unlock t.registry;
+    Mutex.lock l.mu;
+    l.owner <- thread;
+    l.entries <- 1
+  end
+
+let monitor_exit t store addr ~thread =
+  Mutex.lock t.registry;
+  let field = Store.get_lock_field store addr in
+  if field = 0 then begin
+    Mutex.unlock t.registry;
+    invalid_arg "Lock_pool.monitor_exit: record is not locked"
+  end;
+  let l = t.locks.(field - 1) in
+  if l.owner <> thread then begin
+    Mutex.unlock t.registry;
+    invalid_arg "Lock_pool.monitor_exit: thread does not own the lock"
+  end;
+  l.entries <- l.entries - 1;
+  if l.entries = 0 then begin
+    l.owner <- -1;
+    l.blockers <- l.blockers - 1;
+    if l.blockers = 0 then begin
+      (* Last thread out: zero the record's lock space and return the lock
+         to the pool by flipping its bit (paper §3.4). *)
+      Store.set_lock_field store addr 0;
+      Bitvec.clear t.bits l.id;
+      t.in_use <- t.in_use - 1
+    end;
+    Mutex.unlock l.mu
+  end;
+  Mutex.unlock t.registry
+
+let locks_in_use t = t.in_use
+let peak_locks_in_use t = t.peak

@@ -1,0 +1,60 @@
+type t = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create ~bytes =
+  if bytes <= 0 then invalid_arg "Page.create: non-positive size";
+  let p = Bigarray.Array1.create Bigarray.char Bigarray.c_layout bytes in
+  Bigarray.Array1.fill p '\000';
+  p
+
+let capacity = Bigarray.Array1.dim
+
+let read_u8 (p : t) i = Char.code (Bigarray.Array1.get p i)
+let write_u8 (p : t) i v = Bigarray.Array1.set p i (Char.chr (v land 0xff))
+
+let read_u16 p i = read_u8 p i lor (read_u8 p (i + 1) lsl 8)
+
+let write_u16 p i v =
+  write_u8 p i v;
+  write_u8 p (i + 1) (v lsr 8)
+
+let read_u32 p i = read_u16 p i lor (read_u16 p (i + 2) lsl 16)
+
+let read_i32 p i =
+  let v = read_u32 p i in
+  (* Sign-extend from bit 31. *)
+  (v lxor 0x80000000) - 0x80000000
+
+let write_i32 p i v =
+  write_u16 p i v;
+  write_u16 p (i + 2) (v asr 16)
+
+let read_i64 p i =
+  let lo = read_u32 p i in
+  let hi = read_u32 p (i + 4) in
+  lo lor (hi lsl 32)
+
+let write_i64 p i v =
+  write_i32 p i v;
+  write_i32 p (i + 4) (v asr 32)
+
+(* The top bit of an IEEE double pattern would not survive a round-trip
+   through OCaml's 63-bit int, so floats move as two 32-bit halves. *)
+let write_f64 p i v =
+  let bits = Int64.bits_of_float v in
+  write_i32 p i (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
+  write_i32 p (i + 4) (Int64.to_int (Int64.shift_right bits 32))
+
+let read_f64 p i =
+  let lo = Int64.of_int (read_u32 p i) in
+  let hi = Int64.of_int (read_i32 p (i + 4)) in
+  Int64.float_of_bits (Int64.logor lo (Int64.shift_left hi 32))
+
+let read_f32 p i = Int32.float_of_bits (Int32.of_int (read_i32 p i))
+let write_f32 p i v = write_i32 p i (Int32.to_int (Int32.bits_of_float v))
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  let s = Bigarray.Array1.sub src src_off len in
+  let d = Bigarray.Array1.sub dst dst_off len in
+  Bigarray.Array1.blit s d
+
+let fill p ~off ~len c = Bigarray.Array1.fill (Bigarray.Array1.sub p off len) c

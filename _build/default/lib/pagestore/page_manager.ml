@@ -1,0 +1,108 @@
+type current = { mutable page_id : int; mutable next : int }
+
+type t = {
+  pool : Page_pool.t;
+  current : current array;  (* one bump cursor per size class *)
+  mutable owned : int list;
+  mutable oversize : int list;
+  mutable children : t list;
+  mutable is_released : bool;
+  mutable records : int;
+  mutable bytes : int;
+}
+
+let create pool =
+  {
+    pool;
+    current = Array.init Size_class.count (fun _ -> { page_id = -1; next = 0 });
+    owned = [];
+    oversize = [];
+    children = [];
+    is_released = false;
+    records = 0;
+    bytes = 0;
+  }
+
+let create_child t =
+  if t.is_released then invalid_arg "Page_manager.create_child: released";
+  let child = create t.pool in
+  t.children <- child :: t.children;
+  child
+
+let check_live t fn = if t.is_released then invalid_arg (fn ^ ": released manager")
+
+let fresh_page t =
+  let id = Page_pool.acquire t.pool in
+  t.owned <- id :: t.owned;
+  id
+
+let note t ~bytes =
+  t.records <- t.records + 1;
+  t.bytes <- t.bytes + bytes
+
+let alloc_oversize t ~bytes =
+  check_live t "Page_manager.alloc_oversize";
+  let page_bytes = Page_pool.page_bytes t.pool in
+  let alloc_bytes = max bytes (page_bytes + 1) in
+  let id = Page_pool.acquire_oversize t.pool ~bytes:alloc_bytes in
+  t.oversize <- id :: t.oversize;
+  note t ~bytes;
+  Addr.make ~page:id ~offset:0
+
+let alloc t ~bytes =
+  check_live t "Page_manager.alloc";
+  if bytes <= 0 then invalid_arg "Page_manager.alloc: non-positive size";
+  let page_bytes = Page_pool.page_bytes t.pool in
+  if bytes > page_bytes then alloc_oversize t ~bytes
+  else if bytes > page_bytes / 2 then begin
+    (* Large records start on an empty page so they never share and never
+       span (§3.6 policy 2). *)
+    let id = fresh_page t in
+    note t ~bytes;
+    Addr.make ~page:id ~offset:0
+  end
+  else begin
+    let cls =
+      match Size_class.of_bytes bytes with
+      | Some c -> c
+      | None -> assert false (* bytes <= page_bytes/2 is always classed *)
+    in
+    let cur = t.current.(cls) in
+    if cur.page_id < 0 || cur.next + bytes > page_bytes then begin
+      cur.page_id <- fresh_page t;
+      cur.next <- 0
+    end;
+    let addr = Addr.make ~page:cur.page_id ~offset:cur.next in
+    cur.next <- cur.next + bytes;
+    note t ~bytes;
+    addr
+  end
+
+let release_oversize_early t addr =
+  check_live t "Page_manager.release_oversize_early";
+  let id = Addr.page addr in
+  if not (List.mem id t.oversize) then
+    invalid_arg "Page_manager.release_oversize_early: not an owned oversize page";
+  t.oversize <- List.filter (fun p -> p <> id) t.oversize;
+  Page_pool.release_oversize t.pool id
+
+let rec release_all t =
+  if not t.is_released then begin
+    t.is_released <- true;
+    List.iter release_all t.children;
+    t.children <- [];
+    List.iter (Page_pool.release t.pool) t.owned;
+    t.owned <- [];
+    List.iter (Page_pool.release_oversize t.pool) t.oversize;
+    t.oversize <- [];
+    Array.iter
+      (fun cur ->
+        cur.page_id <- -1;
+        cur.next <- 0)
+      t.current
+  end
+
+let released t = t.is_released
+let records_allocated t = t.records
+let bytes_allocated t = t.bytes
+let pages_owned t = List.length t.owned + List.length t.oversize

@@ -1,0 +1,44 @@
+(** A per-⟨iteration, thread⟩ memory allocator (paper §3.6).
+
+    Each manager owns a set of pages obtained from the shared {!Page_pool}
+    and bump-allocates records into a current page per size class. Managers
+    form a tree: sub-iterations and threads spawned within an iteration get
+    child managers, and releasing a manager releases the whole subtree —
+    this is the iteration-based bulk reclamation that replaces per-object
+    GC for data records.
+
+    Allocation policies (as in the paper): contiguous requests get
+    contiguous space; records larger than half a page start on an empty
+    page; records larger than a page go to a dedicated "oversize" page that
+    can also be released early. *)
+
+type t
+
+val create : Page_pool.t -> t
+(** A root manager (a thread's default ⟨⊥, t⟩ manager). *)
+
+val create_child : t -> t
+(** A manager for a sub-iteration, or for a thread spawned inside this
+    manager's iteration. Released together with its parent. *)
+
+val alloc : t -> bytes:int -> Addr.t
+(** Reserve [bytes] of zeroed page space; never spans pages. Raises
+    [Invalid_argument] on a released manager. *)
+
+val alloc_oversize : t -> bytes:int -> Addr.t
+(** Force a dedicated page even if [bytes] would fit a standard one (used
+    by the compiler's oversize optimization for large, resizable arrays). *)
+
+val release_oversize_early : t -> Addr.t -> unit
+(** Free one oversize page before the iteration ends (e.g. the old backing
+    array after a hash-map resize). *)
+
+val release_all : t -> unit
+(** Release this manager's subtree: children recursively, then owned pages
+    back to the pool. Idempotent. *)
+
+val released : t -> bool
+val records_allocated : t -> int
+val bytes_allocated : t -> int
+val pages_owned : t -> int
+(** Pages currently held (standard + oversize), excluding children. *)

@@ -1,0 +1,112 @@
+type t = {
+  page_bytes : int;
+  mutex : Mutex.t;
+  mutable table : Page.t option array;
+  mutable next_id : int;
+  mutable free : int list;  (* standard pages available for reuse *)
+  mutable free_count : int;
+  mutable live : int;
+  mutable created : int;
+  mutable recycled : int;
+  mutable native : int;
+  mutable peak_native : int;
+}
+
+let default_page_bytes = 32 * 1024
+
+let create ?(page_bytes = default_page_bytes) () =
+  if page_bytes <= 0 then invalid_arg "Page_pool.create: non-positive page size";
+  {
+    page_bytes;
+    mutex = Mutex.create ();
+    table = Array.make 64 None;
+    next_id = 0;
+    free = [];
+    free_count = 0;
+    live = 0;
+    created = 0;
+    recycled = 0;
+    native = 0;
+    peak_native = 0;
+  }
+
+let page_bytes t = t.page_bytes
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | v ->
+      Mutex.unlock t.mutex;
+      v
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e
+
+let grow_table t =
+  let table = Array.make (2 * Array.length t.table) None in
+  Array.blit t.table 0 table 0 (Array.length t.table);
+  t.table <- table
+
+let fresh_page t ~bytes =
+  if t.next_id >= Array.length t.table then grow_table t;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.table.(id) <- Some (Page.create ~bytes);
+  t.created <- t.created + 1;
+  t.native <- t.native + bytes;
+  if t.native > t.peak_native then t.peak_native <- t.native;
+  id
+
+let acquire t =
+  let zero_and_count id =
+    (match t.table.(id) with
+    | Some p -> Page.fill p ~off:0 ~len:(Page.capacity p) '\000'
+    | None -> assert false);
+    t.recycled <- t.recycled + 1;
+    id
+  in
+  with_lock t (fun () ->
+      t.live <- t.live + 1;
+      match t.free with
+      | id :: rest ->
+          t.free <- rest;
+          t.free_count <- t.free_count - 1;
+          zero_and_count id
+      | [] -> fresh_page t ~bytes:t.page_bytes)
+
+let acquire_oversize t ~bytes =
+  if bytes <= t.page_bytes then
+    invalid_arg "Page_pool.acquire_oversize: fits in a standard page";
+  with_lock t (fun () ->
+      t.live <- t.live + 1;
+      fresh_page t ~bytes)
+
+let release t id =
+  with_lock t (fun () ->
+      (match t.table.(id) with
+      | Some p when Page.capacity p = t.page_bytes -> ()
+      | Some _ -> invalid_arg "Page_pool.release: oversize page"
+      | None -> invalid_arg "Page_pool.release: page already discarded");
+      t.live <- t.live - 1;
+      t.free <- id :: t.free;
+      t.free_count <- t.free_count + 1)
+
+let release_oversize t id =
+  with_lock t (fun () ->
+      match t.table.(id) with
+      | Some p ->
+          t.native <- t.native - Page.capacity p;
+          t.table.(id) <- None;
+          t.live <- t.live - 1
+      | None -> invalid_arg "Page_pool.release_oversize: page already discarded")
+
+let page t id =
+  match t.table.(id) with
+  | Some p -> p
+  | None -> invalid_arg "Page_pool.page: dead page"
+
+let live_pages t = t.live
+let pages_created t = t.created
+let pages_recycled t = t.recycled
+let native_bytes t = t.native
+let peak_native_bytes t = t.peak_native

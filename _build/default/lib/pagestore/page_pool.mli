@@ -1,0 +1,44 @@
+(** The global page table and free list.
+
+    All pages live in one table indexed by page id (the id is the page half
+    of an {!Addr.t}). Released 32 K pages are recycled through a free list;
+    oversize pages are deallocated immediately, which is what lets the
+    runtime return memory early when a data structure resizes (§3.6).
+
+    Thread-safe: the table is protected by a mutex so per-thread page
+    managers can acquire pages concurrently. *)
+
+type t
+
+val create : ?page_bytes:int -> unit -> t
+(** [page_bytes] defaults to 32 KiB, the paper's (database-style) page
+    size. *)
+
+val page_bytes : t -> int
+
+val acquire : t -> int
+(** A standard page: recycled from the free list when possible, freshly
+    allocated otherwise. *)
+
+val acquire_oversize : t -> bytes:int -> int
+(** A dedicated page of exactly [bytes] (> standard page size). *)
+
+val release : t -> int -> unit
+(** Return a standard page to the free list. *)
+
+val release_oversize : t -> int -> unit
+(** Discard an oversize page, freeing its native memory. *)
+
+val page : t -> int -> Page.t
+(** The backing storage of a live page id. *)
+
+val live_pages : t -> int
+(** Pages currently held by managers (excludes the free list). *)
+
+val pages_created : t -> int
+val pages_recycled : t -> int
+val native_bytes : t -> int
+(** All native bytes currently allocated, including the free list (the OS
+    view of the process). *)
+
+val peak_native_bytes : t -> int

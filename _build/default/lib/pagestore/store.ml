@@ -1,0 +1,199 @@
+type thread = int
+
+type thread_state = {
+  default_mgr : Page_manager.t;
+  mutable stack : Page_manager.t list;  (* innermost iteration first *)
+}
+
+type t = {
+  pool : Page_pool.t;
+  threads : (thread, thread_state) Hashtbl.t;
+  mutable records : int;
+}
+
+let create ?page_bytes () =
+  { pool = Page_pool.create ?page_bytes (); threads = Hashtbl.create 16; records = 0 }
+
+let pool t = t.pool
+
+let thread_state t id =
+  match Hashtbl.find_opt t.threads id with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "Store: thread %d not registered" id)
+
+let current_mgr st =
+  match st.stack with [] -> st.default_mgr | m :: _ -> m
+
+let register_thread ?parent t id =
+  if Hashtbl.mem t.threads id then
+    invalid_arg (Printf.sprintf "Store.register_thread: thread %d already registered" id);
+  let default_mgr =
+    match parent with
+    | None -> Page_manager.create t.pool
+    | Some p -> Page_manager.create_child (current_mgr (thread_state t p))
+  in
+  Hashtbl.replace t.threads id { default_mgr; stack = [] }
+
+let release_thread t id =
+  let st = thread_state t id in
+  Page_manager.release_all st.default_mgr;
+  Hashtbl.remove t.threads id
+
+let iteration_start t ~thread =
+  let st = thread_state t thread in
+  st.stack <- Page_manager.create_child (current_mgr st) :: st.stack
+
+let iteration_end t ~thread =
+  let st = thread_state t thread in
+  match st.stack with
+  | [] -> invalid_arg "Store.iteration_end: no iteration open"
+  | m :: rest ->
+      Page_manager.release_all m;
+      st.stack <- rest
+
+let iteration_depth t ~thread = List.length (thread_state t thread).stack
+
+let page_of t addr = Page_pool.page t.pool (Addr.page addr)
+
+let base t addr =
+  let p = page_of t addr in
+  (p, Addr.offset addr)
+
+let alloc_record t ~thread ~type_id ~data_bytes =
+  if type_id < 0 || type_id > Layout_rt.max_type_id then
+    invalid_arg "Store.alloc_record: type id out of range";
+  let st = thread_state t thread in
+  let addr =
+    Page_manager.alloc (current_mgr st) ~bytes:(Layout_rt.record_header_bytes + data_bytes)
+  in
+  t.records <- t.records + 1;
+  let p, off = base t addr in
+  Page.write_u16 p (off + Layout_rt.type_id_offset) type_id;
+  addr
+
+let alloc_array_with alloc t ~thread ~type_id ~elem_bytes ~length =
+  if length < 0 then invalid_arg "Store.alloc_array: negative length";
+  let st = thread_state t thread in
+  let bytes = Layout_rt.array_header_bytes + (elem_bytes * length) in
+  let addr = alloc (current_mgr st) ~bytes in
+  t.records <- t.records + 1;
+  let p, off = base t addr in
+  Page.write_u16 p (off + Layout_rt.type_id_offset) type_id;
+  Page.write_i32 p (off + Layout_rt.length_offset) length;
+  addr
+
+let alloc_array = alloc_array_with Page_manager.alloc
+let alloc_array_oversize = alloc_array_with Page_manager.alloc_oversize
+
+let free_oversize_early t ~thread addr =
+  let st = thread_state t thread in
+  (* The page may have been allocated by any manager on this thread's
+     stack; try innermost-out. *)
+  let rec try_mgrs = function
+    | [] -> Page_manager.release_oversize_early st.default_mgr addr
+    | m :: rest -> (
+        try Page_manager.release_oversize_early m addr
+        with Invalid_argument _ -> try_mgrs rest)
+  in
+  try_mgrs st.stack
+
+let type_id t addr =
+  let p, off = base t addr in
+  Page.read_u16 p (off + Layout_rt.type_id_offset)
+
+let array_length t addr =
+  let p, off = base t addr in
+  Page.read_i32 p (off + Layout_rt.length_offset)
+
+let get_i8 t addr ~offset =
+  let p, off = base t addr in
+  Page.read_u8 p (off + offset)
+
+let set_i8 t addr ~offset v =
+  let p, off = base t addr in
+  Page.write_u8 p (off + offset) v
+
+let get_i16 t addr ~offset =
+  let p, off = base t addr in
+  Page.read_u16 p (off + offset)
+
+let set_i16 t addr ~offset v =
+  let p, off = base t addr in
+  Page.write_u16 p (off + offset) v
+
+let get_i32 t addr ~offset =
+  let p, off = base t addr in
+  Page.read_i32 p (off + offset)
+
+let set_i32 t addr ~offset v =
+  let p, off = base t addr in
+  Page.write_i32 p (off + offset) v
+
+let get_i64 t addr ~offset =
+  let p, off = base t addr in
+  Page.read_i64 p (off + offset)
+
+let set_i64 t addr ~offset v =
+  let p, off = base t addr in
+  Page.write_i64 p (off + offset) v
+
+let get_f32 t addr ~offset =
+  let p, off = base t addr in
+  Page.read_f32 p (off + offset)
+
+let set_f32 t addr ~offset v =
+  let p, off = base t addr in
+  Page.write_f32 p (off + offset) v
+
+let get_f64 t addr ~offset =
+  let p, off = base t addr in
+  Page.read_f64 p (off + offset)
+
+let set_f64 t addr ~offset v =
+  let p, off = base t addr in
+  Page.write_f64 p (off + offset) v
+
+let get_ref t addr ~offset = Addr.of_int (get_i64 t addr ~offset)
+let set_ref t addr ~offset v = set_i64 t addr ~offset (Addr.to_int v)
+
+let array_elem_offset ~elem_bytes ~index =
+  Layout_rt.array_header_bytes + (elem_bytes * index)
+
+let arraycopy t ~src ~src_pos ~dst ~dst_pos ~len ~elem_bytes =
+  if len < 0 then invalid_arg "Store.arraycopy: negative length";
+  let sp, soff = base t src in
+  let dp, doff = base t dst in
+  Page.blit ~src:sp
+    ~src_off:(soff + array_elem_offset ~elem_bytes ~index:src_pos)
+    ~dst:dp
+    ~dst_off:(doff + array_elem_offset ~elem_bytes ~index:dst_pos)
+    ~len:(len * elem_bytes)
+
+let get_lock_field t addr =
+  let p, off = base t addr in
+  Page.read_u16 p (off + Layout_rt.lock_offset)
+
+let set_lock_field t addr v =
+  let p, off = base t addr in
+  Page.write_u16 p (off + Layout_rt.lock_offset) v
+
+type stats = {
+  records_allocated : int;
+  pages_created : int;
+  pages_recycled : int;
+  live_pages : int;
+  native_bytes : int;
+  peak_native_bytes : int;
+}
+
+let stats t =
+  {
+    records_allocated = t.records;
+    pages_created = Page_pool.pages_created t.pool;
+    pages_recycled = Page_pool.pages_recycled t.pool;
+    live_pages = Page_pool.live_pages t.pool;
+    native_bytes = Page_pool.native_bytes t.pool;
+    peak_native_bytes = Page_pool.peak_native_bytes t.pool;
+  }
+
+let live_page_objects t = Page_pool.live_pages t.pool

@@ -1,0 +1,97 @@
+(** Ready-made jir programs used by tests, examples, and benchmarks.
+
+    Each value is a pair: the program and the data-class specification a
+    user of FACADE would provide for it. All programs are verified
+    well-formed and runnable in both object and facade mode. *)
+
+type sample = {
+  name : string;
+  program : Jir.Program.t;
+  spec : Facade_compiler.Classify.spec;
+  expected : Jir.Ir.const option;  (** entry's expected return, if constant *)
+}
+
+val fig2 : sample
+(** The paper's Figure 2: [Professor]/[Student] with [addStudent] and a
+    client building the structure. Returns the professor's student count. *)
+
+val linked_list : sample
+(** Builds an N-node list of data records in a loop, then sums the payloads
+    walking [next] references: exercises field loads/stores, null tests,
+    loops. *)
+
+val dispatch : sample
+(** A [Shape] hierarchy with overridden [area]: exercises virtual calls via
+    [resolve], [instanceof], and casts on data records. *)
+
+val prim_arrays : sample
+(** Fills and folds int/double arrays, uses [arraycopy] and array length:
+    exercises paged array records. *)
+
+val conversion : sample
+(** A data record flows into a control-path class and back: exercises the
+    synthesized conversion functions at interaction points (cases 3.3/4.3/
+    6.3). *)
+
+val locking : sample
+(** Nested [synchronized] blocks on data records: exercises the shared lock
+    pool with reentrancy. *)
+
+val iteration : sample
+(** Allocates records inside iteration marks over several rounds: in P′
+    the pages must be recycled at every [Iter_end]. *)
+
+val statics : sample
+(** Static fields on a data class, including a data-typed static. *)
+
+val strings : sample
+(** String literals flowing through data fields; literal interning makes
+    [==] hold in both modes. *)
+
+val interfaces : sample
+(** A [Measurable] interface implemented by two data classes, dispatched
+    through the interface type: exercises IFacade generation (§3.2) and
+    interface-typed page references. *)
+
+val nested_iteration : sample
+(** Nested iteration frames (sub-iterations, §3.6): inner frames recycle
+    their pages while records of the enclosing frame stay live. *)
+
+val collections : sample
+(** Type-specialized JDK-style collections as data classes (§3.1 treats a
+    collection in the data path as a data type; §3.6 transforms the JDK's
+    collection classes): a growable [ArrayList_Item] (doubling via the
+    modelled [System.arraycopy]) and an open-addressing [IntHashMap_Item]
+    with rehashing, filled and read back in both modes. *)
+
+val array_list : elem:string -> Jir.Ir.cls
+(** The generated, element-specialized growable list class. *)
+
+val array_list_name : elem:string -> string
+
+val int_hash_map : elem:string -> Jir.Ir.cls
+(** The generated open-addressing int-keyed map class. *)
+
+val int_hash_map_name : elem:string -> string
+
+val threads : sample
+(** Two worker threads and the main thread increment a shared record under
+    its intrinsic lock: exercises per-thread facade pools and page
+    managers plus the shared lock pool (§3.4). *)
+
+val boundary : sample
+(** A boundary class with an annotated data field (the paper's GraphChi
+    workflow, §4.1): the class stays on the heap, the field becomes a page
+    reference. *)
+
+val deep_conversion : sample
+(** A cyclic, array-carrying data structure crossing the control/data
+    boundary in both directions: the synthesized conversion functions must
+    deep-copy recursively without looping on the cycle (§3.5). *)
+
+val all : sample list
+(** Every sample above — the equivalence test sweep. *)
+
+val synthetic : classes:int -> methods_per_class:int -> Jir.Program.t * Facade_compiler.Classify.spec
+(** A generated program of data classes with field-heavy methods, used to
+    measure transformation speed (paper §4: 752–1102 instructions/s). *)

@@ -1,0 +1,1 @@
+lib/workloads/datasets.ml: Graph_gen List Printf Text_gen

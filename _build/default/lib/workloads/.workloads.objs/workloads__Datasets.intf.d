@@ -1,0 +1,1 @@
+lib/workloads/datasets.mli: Graph_gen Text_gen

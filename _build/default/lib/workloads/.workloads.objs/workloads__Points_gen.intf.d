@@ -1,0 +1,1 @@
+lib/workloads/points_gen.mli:

@@ -1,0 +1,1 @@
+lib/workloads/text_gen.ml: Array Float Hashtbl List Printf Rng String

@@ -1,0 +1,1 @@
+lib/workloads/text_gen.mli:

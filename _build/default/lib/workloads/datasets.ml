@@ -1,0 +1,39 @@
+let scale = 1.0 /. 500.0
+
+let gb = 1 lsl 20
+
+let twitter () = Graph_gen.twitter_scaled ~seed:42 ~scale
+
+let fig4a_sweep () =
+  (* Paper X axis: 0.3, 0.6, 0.9, 1.2, 1.5 billion edges. *)
+  List.map
+    (fun billions ->
+      let edges = int_of_float (billions *. 1e9 *. scale) in
+      let vertices = max 1 (int_of_float (42e6 *. scale *. (billions /. 1.5))) in
+      ( Printf.sprintf "%.1fB-edges" billions,
+        Graph_gen.generate ~seed:7 ~vertices ~edges ))
+    [ 0.3; 0.6; 0.9; 1.2; 1.5 ]
+
+let livejournal () = Graph_gen.livejournal_scaled ~seed:11 ~scale
+
+let lj_supergraphs () =
+  (* LiveJournal and scaled supergraphs up to 120M vertices / 1.7B edges. *)
+  let mk name vm em seed =
+    let vertices = max 1 (int_of_float (vm *. 1e6 *. scale)) in
+    let edges = int_of_float (em *. 1e6 *. scale) in
+    (name, Graph_gen.generate ~seed ~vertices ~edges)
+  in
+  [
+    mk "LJ" 4.8 68.0 11;
+    mk "LJx4" 19.2 272.0 12;
+    mk "LJx8" 38.4 544.0 13;
+    mk "LJx16" 76.8 1088.0 14;
+    mk "LJx25" 120.0 1700.0 15;
+  ]
+
+let hyracks_corpus ~paper_gb =
+  (* URL-like keys: distinct-key space grows with the dataset. *)
+  let bytes_target = paper_gb * gb in
+  Text_gen.generate ~vocab:(max 1000 (bytes_target / 32)) ~seed:(100 + paper_gb) ~bytes_target ()
+
+let hyracks_sizes = [ 3; 5; 10; 14; 19 ]

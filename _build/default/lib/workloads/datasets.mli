@@ -1,0 +1,29 @@
+(** Named dataset configurations used across the experiment harness.
+
+    Every experiment in EXPERIMENTS.md names one of these, so dataset scaling
+    lives in exactly one place. [scale] is the reduction factor applied to
+    the paper's dataset sizes (DESIGN.md §2). *)
+
+val scale : float
+(** Global down-scaling of paper datasets (default 1/500 for graphs). *)
+
+val gb : int
+(** Simulated bytes per "paper GB" (1 paper-GB = 1 MiB here). *)
+
+val twitter : unit -> Graph_gen.t
+(** The scaled twitter-2010 analogue used by Table 2 / Fig. 4(a). *)
+
+val fig4a_sweep : unit -> (string * Graph_gen.t) list
+(** Five graphs scaled from 0.3e9 to 1.5e9 paper-edges (Fig. 4(a) X axis). *)
+
+val livejournal : unit -> Graph_gen.t
+
+val lj_supergraphs : unit -> (string * Graph_gen.t) list
+(** LiveJournal plus synthetic supergraphs (GPS §4.3); the largest has
+    120 M paper-vertices and 1.7 B paper-edges. *)
+
+val hyracks_corpus : paper_gb:int -> Text_gen.t
+(** Zipf corpus for one paper-GB size point (3/5/10/14/19). *)
+
+val hyracks_sizes : int list
+(** The five dataset sizes of Table 3 / Fig. 4(b,c), in paper-GB. *)

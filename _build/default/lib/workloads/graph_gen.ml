@@ -1,0 +1,43 @@
+type t = {
+  num_vertices : int;
+  edges : (int * int) array;
+}
+
+(* Preferential attachment via the "copy model": an endpoint is either a
+   uniform vertex or copied from an earlier edge, which yields a power-law
+   degree distribution without maintaining an explicit degree table. *)
+let generate ~seed ~vertices ~edges =
+  assert (vertices > 0 && edges >= 0);
+  let rng = Rng.create seed in
+  let es = Array.make edges (0, 0) in
+  let pick_dst i =
+    if i > 0 && Rng.float rng 1.0 < 0.7 then snd es.(Rng.int rng i)
+    else Rng.int rng vertices
+  in
+  for i = 0 to edges - 1 do
+    let src = Rng.int rng vertices in
+    let dst = pick_dst i in
+    let dst = if dst = src then (dst + 1) mod vertices else dst in
+    es.(i) <- (src, dst)
+  done;
+  { num_vertices = vertices; edges = es }
+
+let twitter_scaled ~seed ~scale =
+  let vertices = max 1 (int_of_float (42_000_000.0 *. scale)) in
+  let edges = int_of_float (1_500_000_000.0 *. scale) in
+  generate ~seed ~vertices ~edges
+
+let livejournal_scaled ~seed ~scale =
+  let vertices = max 1 (int_of_float (4_800_000.0 *. scale)) in
+  let edges = int_of_float (68_000_000.0 *. scale) in
+  generate ~seed ~vertices ~edges
+
+let degrees ~project g =
+  let d = Array.make g.num_vertices 0 in
+  Array.iter (fun e -> let v = project e in d.(v) <- d.(v) + 1) g.edges;
+  d
+
+let out_degrees g = degrees ~project:fst g
+let in_degrees g = degrees ~project:snd g
+
+let max_degree d = Array.fold_left max 0 d

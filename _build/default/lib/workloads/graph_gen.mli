@@ -1,0 +1,32 @@
+(** Synthetic power-law graph generation.
+
+    The paper evaluates on twitter-2010 (42 M vertices, 1.5 B edges, heavy
+    skew) and the LiveJournal graph plus synthetic supergraphs. Those exact
+    datasets are not available offline, so this module generates graphs with
+    the same structural shape: a power-law in-degree distribution produced by
+    preferential attachment with an edges/vertex ratio chosen to match the
+    target dataset (twitter-2010 has ~35.7 edges per vertex). *)
+
+type t = {
+  num_vertices : int;
+  edges : (int * int) array;  (** (src, dst) pairs *)
+}
+
+val generate : seed:int -> vertices:int -> edges:int -> t
+(** [generate ~seed ~vertices ~edges] builds a directed graph by preferential
+    attachment: each new edge endpoint is, with probability ~0.7, a copy of a
+    previously chosen endpoint (producing the power law) and otherwise
+    uniform. The result is deterministic in [seed]. *)
+
+val twitter_scaled : seed:int -> scale:float -> t
+(** A graph with twitter-2010's shape scaled down by [scale]:
+    [vertices = 42e6 *. scale], [edges = 1.5e9 *. scale]. *)
+
+val livejournal_scaled : seed:int -> scale:float -> t
+(** LiveJournal shape (4.8 M vertices, 68 M edges) scaled by [scale]. *)
+
+val out_degrees : t -> int array
+val in_degrees : t -> int array
+
+val max_degree : int array -> int
+(** Largest entry of a degree array (0 for an empty graph). *)

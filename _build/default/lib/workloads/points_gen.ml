@@ -1,0 +1,23 @@
+type t = {
+  dims : int;
+  points : float array array;
+}
+
+(* Box-Muller transform; one draw per call is enough here. *)
+let gaussian rng =
+  let u1 = max 1e-12 (Rng.float rng 1.0) in
+  let u2 = Rng.float rng 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let generate ~seed ~n ~dims ~clusters =
+  assert (n >= 0 && dims > 0 && clusters > 0);
+  let rng = Rng.create seed in
+  let centers =
+    Array.init clusters (fun _ -> Array.init dims (fun _ -> Rng.float rng 100.0))
+  in
+  let points =
+    Array.init n (fun _ ->
+        let c = centers.(Rng.int rng clusters) in
+        Array.init dims (fun d -> c.(d) +. (gaussian rng *. 3.0)))
+  in
+  { dims; points }

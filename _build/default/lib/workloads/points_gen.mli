@@ -1,0 +1,12 @@
+(** Point clouds for the GPS k-means experiment.
+
+    Each point is attached to a graph vertex (GPS runs k-means as a vertex
+    program); points are drawn from [clusters] Gaussian blobs so that k-means
+    has real structure to converge on. *)
+
+type t = {
+  dims : int;
+  points : float array array;  (** [points.(i)] has length [dims] *)
+}
+
+val generate : seed:int -> n:int -> dims:int -> clusters:int -> t

@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every workload generator in this repository derives its randomness from
+    this module so that datasets are reproducible across runs and machines:
+    the same seed always yields the same graph, corpus, or point cloud. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a generator from a 63-bit seed. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)

@@ -1,0 +1,53 @@
+type t = {
+  words : string array;
+  total_bytes : int;
+}
+
+let vocabulary_size = 50_000
+
+let word_of_rank r = Printf.sprintf "w%06d" r
+
+(* Zipf sampling via the inverse-CDF over a precomputed cumulative table;
+   tables are cached per vocabulary size. *)
+let zipf_tables : (int, float array) Hashtbl.t = Hashtbl.create 4
+
+let zipf_table vocab =
+  match Hashtbl.find_opt zipf_tables vocab with
+  | Some t -> t
+  | None ->
+      let s = 1.1 in
+      let table = Array.make vocab 0.0 in
+      let acc = ref 0.0 in
+      for r = 0 to vocab - 1 do
+        acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) s);
+        table.(r) <- !acc
+      done;
+      let total = !acc in
+      let table = Array.map (fun x -> x /. total) table in
+      Hashtbl.replace zipf_tables vocab table;
+      table
+
+let sample_rank rng vocab =
+  let table = zipf_table vocab in
+  let u = Rng.float rng 1.0 in
+  (* Binary search for the first rank whose cumulative mass exceeds u. *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if table.(mid) < u then go (mid + 1) hi else go lo mid
+  in
+  go 0 (vocab - 1)
+
+let generate ?(vocab = vocabulary_size) ~seed ~bytes_target () =
+  let rng = Rng.create seed in
+  let buf = ref [] in
+  let bytes = ref 0 in
+  let count = ref 0 in
+  while !bytes < bytes_target do
+    let w = word_of_rank (sample_rank rng vocab) in
+    buf := w :: !buf;
+    bytes := !bytes + String.length w + 1;
+    incr count
+  done;
+  { words = Array.of_list (List.rev !buf); total_bytes = !bytes }

@@ -1,0 +1,27 @@
+(** Synthetic text corpora for the Hyracks experiments.
+
+    The paper converts a subset of Yahoo!'s AltaVista web-graph dataset into
+    plain-text files of 3/5/10/14/19 GB. We generate Zipf-distributed word
+    streams of equivalent *scaled* sizes (see DESIGN.md §2: 1 paper-GB maps
+    to 1 simulated-MB), which preserves the two properties the experiments
+    depend on: corpus size drives the number of tuples, and word-frequency
+    skew drives hash-group sizes in word count. *)
+
+type t = {
+  words : string array;      (** the token stream *)
+  total_bytes : int;         (** sum of token lengths + separators *)
+}
+
+val vocabulary_size : int
+(** Default number of distinct words the generator draws from. *)
+
+val generate : ?vocab:int -> seed:int -> bytes_target:int -> unit -> t
+(** [generate ~seed ~bytes_target] produces tokens until [total_bytes]
+    reaches [bytes_target]. Word ranks follow a Zipf(1.1) distribution over
+    [vocab] distinct words (default {!vocabulary_size}). The Hyracks
+    experiments grow [vocab] with the dataset, mirroring the URL-like keys
+    of the paper's web-graph corpus whose distinct-key count scales with
+    input size. *)
+
+val word_of_rank : int -> string
+(** The word emitted for a given frequency rank; deterministic. *)

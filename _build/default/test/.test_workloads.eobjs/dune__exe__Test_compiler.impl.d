@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Builder Facade_compiler Ir Jir Jtype List Option Program QCheck QCheck_alcotest Samples String Verify

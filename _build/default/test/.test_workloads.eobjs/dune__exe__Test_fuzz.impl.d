@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Builder Facade_compiler Facade_vm Ir Jir Jtype List Printf Program QCheck QCheck_alcotest Verify

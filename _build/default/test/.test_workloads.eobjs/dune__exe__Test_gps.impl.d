@@ -1,0 +1,1 @@
+test/test_gps.ml: Alcotest Array Gps QCheck QCheck_alcotest Workloads

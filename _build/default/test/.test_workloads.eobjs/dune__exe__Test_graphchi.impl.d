@@ -1,0 +1,1 @@
+test/test_graphchi.ml: Alcotest Array Float Graphchi List QCheck QCheck_alcotest Workloads

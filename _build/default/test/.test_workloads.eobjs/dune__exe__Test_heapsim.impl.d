@@ -1,0 +1,1 @@
+test/test_heapsim.ml: Alcotest Heapsim List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hyracks.ml: Alcotest Array Fun Hashtbl Hyracks List Option QCheck QCheck_alcotest String Workloads

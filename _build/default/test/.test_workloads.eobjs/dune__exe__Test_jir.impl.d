@@ -1,0 +1,1 @@
+test/test_jir.ml: Alcotest Array Builder Hierarchy Ir Jir Jtype List Pretty Program QCheck QCheck_alcotest Samples String Verify

@@ -1,0 +1,1 @@
+test/test_pagestore.ml: Alcotest Array Domain Fun Hashtbl Int32 Int64 List Pagestore QCheck QCheck_alcotest

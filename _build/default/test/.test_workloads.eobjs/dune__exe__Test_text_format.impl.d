@@ -1,0 +1,1 @@
+test/test_text_format.ml: Alcotest Facade_compiler Facade_vm Float Gen Jir List QCheck QCheck_alcotest Samples String

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Facade_compiler Facade_vm Hashtbl Heapsim Jir List Pagestore Printf Samples

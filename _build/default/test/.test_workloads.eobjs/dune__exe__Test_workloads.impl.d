@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hashtbl List Option QCheck QCheck_alcotest Workloads

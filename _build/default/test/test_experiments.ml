@@ -1,0 +1,74 @@
+(* End-to-end checks over the experiment harness in quick mode: every
+   experiment must run, print, and produce claims whose structure matches
+   the paper's evaluation. (Quantitative shape checks at full scale run in
+   the benchmark harness; these tests assert the machinery.) *)
+
+let test_headers () =
+  let rows, claims = Experiments.Exp_headers.run () in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  Alcotest.(check bool) "claims hold" true (Metrics.Report.all_hold claims)
+
+let test_speed_quick () =
+  let r, claims = Experiments.Exp_speed.run ~quick:true () in
+  Alcotest.(check bool) "throughput positive" true (r.Experiments.Exp_speed.instrs_per_second > 0.0);
+  Alcotest.(check bool) "claims hold" true (Metrics.Report.all_hold claims)
+
+let test_table2_quick () =
+  let rows, claims = Experiments.Exp_table2.run ~quick:true () in
+  Alcotest.(check int) "12 rows (2 apps x 3 budgets x 2 modes)" 12 (List.length rows);
+  (* At tiny quick scale the timing claims may flip; the structural ones
+     (PM tracks budget) must hold. *)
+  Alcotest.(check bool) "some claims produced" true (List.length claims >= 5)
+
+let test_table3_quick () =
+  let rows, claims = Experiments.Exp_table3.run ~quick:true () in
+  Alcotest.(check int) "two sizes in quick mode" 2 (List.length rows);
+  Alcotest.(check bool) "claims produced" true (List.length claims >= 5);
+  let fig_claims = Experiments.Exp_fig4bc.run rows in
+  Alcotest.(check int) "fig4bc claims" 3 (List.length fig_claims)
+
+let test_gps_quick () =
+  let rows, claims = Experiments.Exp_gps.run ~quick:true () in
+  Alcotest.(check int) "3 apps on the quick graph" 3 (List.length rows);
+  Alcotest.(check bool) "claims produced" true (List.length claims >= 3)
+
+let test_objects_quick () =
+  let counts, claims = Experiments.Exp_objects.run ~quick:true () in
+  Alcotest.(check bool) "reduction measured" true
+    (counts.Experiments.Exp_objects.reduction_factor > 100.0);
+  Alcotest.(check bool) "claims hold" true (Metrics.Report.all_hold claims)
+
+let test_fig4a_quick () =
+  let points, claims = Experiments.Exp_fig4a.run ~quick:true () in
+  Alcotest.(check int) "one quick point" 1 (List.length points);
+  Alcotest.(check bool) "claims produced" true (List.length claims = 2)
+
+let test_ablation_quick () =
+  let claims = Experiments.Exp_ablation.run ~quick:true () in
+  Alcotest.(check int) "four ablations" 4 (List.length claims);
+  Alcotest.(check bool) "ablations hold" true (Metrics.Report.all_hold claims)
+
+let test_harness_selection () =
+  Alcotest.(check bool) "all known names parse" true
+    (List.for_all
+       (fun n -> Experiments.Harness.selection_of_string n <> None)
+       Experiments.Harness.selection_names);
+  Alcotest.(check bool) "unknown rejected" true
+    (Experiments.Harness.selection_of_string "nope" = None)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "quick",
+        [
+          Alcotest.test_case "headers" `Quick test_headers;
+          Alcotest.test_case "speed" `Quick test_speed_quick;
+          Alcotest.test_case "table2" `Quick test_table2_quick;
+          Alcotest.test_case "table3" `Quick test_table3_quick;
+          Alcotest.test_case "gps" `Quick test_gps_quick;
+          Alcotest.test_case "objects" `Quick test_objects_quick;
+          Alcotest.test_case "fig4a" `Quick test_fig4a_quick;
+          Alcotest.test_case "ablation" `Quick test_ablation_quick;
+          Alcotest.test_case "harness selection" `Quick test_harness_selection;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+module H = Heapsim.Heap
+module C = Heapsim.Hconfig
+module O = Heapsim.Obj_model
+
+let mk ?(heap_bytes = 1 lsl 20) () = H.create (C.make ~heap_bytes ())
+
+let test_obj_model () =
+  Alcotest.(check int) "object header" 12 O.object_header_bytes;
+  Alcotest.(check int) "array header" 16 O.array_header_bytes;
+  Alcotest.(check int) "empty object" 16 (O.object_bytes ~field_bytes:0);
+  Alcotest.(check int) "aligned" 24 (O.object_bytes ~field_bytes:10);
+  Alcotest.(check int) "int array" 416 (O.array_bytes ~elem_bytes:4 ~length:100);
+  Alcotest.(check int) "align idempotent" (O.align 16) (O.align (O.align 16))
+
+let test_minor_gc_triggers () =
+  let h = mk () in
+  (* Fill the nursery (256K) with temporaries: minor GCs, no survivors. *)
+  H.alloc_many h ~lifetime:H.Temp ~bytes_each:64 ~count:10_000;
+  let s = H.stats h in
+  Alcotest.(check bool) "minor GCs ran" true (s.Heapsim.Gc_stats.minor_gcs >= 2);
+  Alcotest.(check int) "nothing promoted" 0 (H.live_objects h)
+
+let test_survivors_promoted () =
+  let h = mk () in
+  H.alloc_many h ~lifetime:H.Permanent ~bytes_each:64 ~count:5_000;
+  H.force_major_gc h;
+  Alcotest.(check int) "all survive" 5_000 (H.live_objects h);
+  Alcotest.(check int) "bytes tracked" (5_000 * 64) (H.live_bytes h)
+
+let test_iteration_reclaim () =
+  let h = mk () in
+  H.iteration_start h;
+  H.alloc_many h ~lifetime:H.Iteration ~bytes_each:64 ~count:4_000;
+  Alcotest.(check int) "live in iteration" 4_000 (H.live_objects h);
+  H.iteration_end h;
+  H.force_major_gc h;
+  Alcotest.(check int) "reclaimed after iteration" 0 (H.live_objects h)
+
+let test_nested_iterations () =
+  let h = mk () in
+  H.iteration_start h;
+  H.alloc_many h ~lifetime:H.Iteration ~bytes_each:64 ~count:100;
+  H.iteration_start h;
+  H.alloc_many h ~lifetime:H.Iteration ~bytes_each:64 ~count:50;
+  Alcotest.(check int) "depth" 2 (H.iteration_depth h);
+  H.iteration_end h;
+  H.force_major_gc h;
+  Alcotest.(check int) "inner reclaimed only" 100 (H.live_objects h);
+  H.iteration_end h;
+  H.force_major_gc h;
+  Alcotest.(check int) "outer reclaimed" 0 (H.live_objects h)
+
+let test_oom () =
+  let h = mk ~heap_bytes:(1 lsl 16) () in
+  Alcotest.check_raises "OOM" (Failure "expected") (fun () ->
+      try
+        H.alloc_many h ~lifetime:H.Permanent ~bytes_each:64 ~count:10_000;
+        Alcotest.fail "no OOM raised"
+      with H.Out_of_memory _ -> raise (Failure "expected"))
+
+let test_iteration_survives_budget () =
+  (* Iteration data released each round fits any budget; the same data held
+     permanently does not. *)
+  let h = mk ~heap_bytes:(1 lsl 16) () in
+  for _ = 1 to 10 do
+    H.iteration_start h;
+    H.alloc_many h ~lifetime:H.Iteration ~bytes_each:64 ~count:500;
+    H.iteration_end h
+  done;
+  Alcotest.(check bool) "no OOM across rounds" true (H.live_objects h = 0)
+
+let test_gc_cost_scales_with_live () =
+  let small = mk () in
+  H.alloc_many small ~lifetime:H.Permanent ~bytes_each:32 ~count:500;
+  H.force_major_gc small;
+  let big = mk () in
+  H.alloc_many big ~lifetime:H.Permanent ~bytes_each:32 ~count:5_000;
+  H.force_major_gc big;
+  let gt h = (H.stats h).Heapsim.Gc_stats.gc_seconds in
+  Alcotest.(check bool) "more live => more GC time" true (gt big > gt small)
+
+let test_native_accounting () =
+  let h = mk () in
+  H.native_alloc h ~bytes:1000;
+  H.native_alloc h ~bytes:500;
+  Alcotest.(check int) "native" 1500 (H.native_bytes h);
+  H.native_free h ~bytes:300;
+  Alcotest.(check int) "after free" 1200 (H.native_bytes h);
+  Alcotest.(check bool) "peak includes native" true (H.peak_memory_bytes h >= 1500);
+  Alcotest.check_raises "overfree" (Invalid_argument "Heap.native_free: bad size") (fun () ->
+      H.native_free h ~bytes:10_000)
+
+let test_peak_memory () =
+  let h = mk () in
+  H.alloc_many h ~lifetime:H.Temp ~bytes_each:64 ~count:1_000;
+  Alcotest.(check bool) "peak >= used" true (H.peak_memory_bytes h >= 64_000 * 0)
+
+let test_free_control () =
+  let h = mk () in
+  H.alloc h ~lifetime:H.Control ~bytes:64;
+  H.force_major_gc h;
+  H.free_control h ~bytes:64 ~count:1;
+  H.force_major_gc h;
+  Alcotest.(check int) "control freed" 0 (H.live_objects h);
+  Alcotest.check_raises "double free" (Invalid_argument "Heap.free_control: freeing more than is live")
+    (fun () -> H.free_control h ~bytes:64 ~count:1)
+
+let prop_alloc_many_equals_loop =
+  QCheck.Test.make ~name:"alloc_many == alloc loop" ~count:50
+    QCheck.(pair (int_range 1 200) (int_range 8 128))
+    (fun (count, bytes_each) ->
+      let h1 = mk () and h2 = mk () in
+      H.alloc_many h1 ~lifetime:H.Permanent ~bytes_each ~count;
+      for _ = 1 to count do
+        H.alloc h2 ~lifetime:H.Permanent ~bytes:bytes_each
+      done;
+      H.live_objects h1 = H.live_objects h2
+      && H.live_bytes h1 = H.live_bytes h2
+      && (H.stats h1).Heapsim.Gc_stats.minor_gcs = (H.stats h2).Heapsim.Gc_stats.minor_gcs)
+
+let prop_live_never_negative =
+  QCheck.Test.make ~name:"live bytes non-negative under iterations" ~count:50
+    QCheck.(small_list (int_range 1 100))
+    (fun counts ->
+      let h = mk () in
+      List.iter
+        (fun c ->
+          H.iteration_start h;
+          H.alloc_many h ~lifetime:H.Iteration ~bytes_each:32 ~count:c;
+          H.iteration_end h)
+        counts;
+      H.force_major_gc h;
+      H.live_bytes h = 0 && H.live_objects h = 0)
+
+let test_clock_categories () =
+  let clk = Heapsim.Sim_clock.create () in
+  Heapsim.Sim_clock.charge clk Heapsim.Sim_clock.Load 2.0;
+  Heapsim.Sim_clock.charge clk Heapsim.Sim_clock.Update 3.0;
+  Heapsim.Sim_clock.charge clk Heapsim.Sim_clock.Gc 1.5;
+  Alcotest.(check (float 1e-9)) "total" 6.5 (Heapsim.Sim_clock.total clk);
+  Alcotest.(check (float 1e-9)) "load" 2.0
+    (Heapsim.Sim_clock.get clk Heapsim.Sim_clock.Load);
+  Heapsim.Sim_clock.reset clk;
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (Heapsim.Sim_clock.total clk)
+
+let test_gc_charged_to_clock () =
+  let clk = Heapsim.Sim_clock.create () in
+  let h = H.create ~clock:clk (C.make ~heap_bytes:(1 lsl 20) ()) in
+  H.alloc_many h ~lifetime:H.Temp ~bytes_each:64 ~count:20_000;
+  Alcotest.(check bool) "clock accumulated GC time" true
+    (Heapsim.Sim_clock.get clk Heapsim.Sim_clock.Gc > 0.0)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_alloc_many_equals_loop; prop_live_never_negative ]
+
+let () =
+  Alcotest.run "heapsim"
+    [
+      ("obj_model", [ Alcotest.test_case "sizes" `Quick test_obj_model ]);
+      ( "gc",
+        [
+          Alcotest.test_case "minor triggers" `Quick test_minor_gc_triggers;
+          Alcotest.test_case "promotion" `Quick test_survivors_promoted;
+          Alcotest.test_case "iteration reclaim" `Quick test_iteration_reclaim;
+          Alcotest.test_case "nested iterations" `Quick test_nested_iterations;
+          Alcotest.test_case "OOM" `Quick test_oom;
+          Alcotest.test_case "iteration survives budget" `Quick test_iteration_survives_budget;
+          Alcotest.test_case "cost scales with live set" `Quick test_gc_cost_scales_with_live;
+          Alcotest.test_case "free_control" `Quick test_free_control;
+        ]
+        @ qsuite );
+      ( "accounting",
+        [
+          Alcotest.test_case "native" `Quick test_native_accounting;
+          Alcotest.test_case "peak" `Quick test_peak_memory;
+          Alcotest.test_case "clock" `Quick test_clock_categories;
+          Alcotest.test_case "gc charged to clock" `Quick test_gc_charged_to_clock;
+        ] );
+    ]

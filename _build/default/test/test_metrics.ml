@@ -1,0 +1,57 @@
+let test_table_render () =
+  let t = Metrics.Table.create ~headers:[ "App"; "ET(s)"; "GT(s)" ] in
+  Metrics.Table.add_row t [ "PR-8g"; "1540.8"; "317.1" ];
+  Metrics.Table.add_row t [ "PR'-8g"; "1180.7" ];
+  let s = Metrics.Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 3 = "App");
+  Alcotest.(check bool) "pads short rows" true
+    (List.length (String.split_on_char '\n' s) = 5)
+
+let test_table_rejects_long_rows () =
+  let t = Metrics.Table.create ~headers:[ "a" ] in
+  Alcotest.check_raises "too many cells" (Invalid_argument "Table.add_row: row longer than header")
+    (fun () -> Metrics.Table.add_row t [ "1"; "2" ])
+
+let test_cell_int () =
+  Alcotest.(check string) "billions" "14,257,280,923" (Metrics.Table.cell_int 14_257_280_923);
+  Alcotest.(check string) "small" "1,363" (Metrics.Table.cell_int 1363);
+  Alcotest.(check string) "tiny" "42" (Metrics.Table.cell_int 42);
+  Alcotest.(check string) "negative" "-1,000" (Metrics.Table.cell_int (-1000))
+
+let test_cell_float () =
+  Alcotest.(check string) "one decimal" "317.1" (Metrics.Table.cell_float 317.09);
+  Alcotest.(check string) "two decimals" "26.80" (Metrics.Table.cell_float ~decimals:2 26.8)
+
+let test_report () =
+  let c1 =
+    Metrics.Report.claim ~experiment:"Table 2" ~description:"PR' beats PR"
+      ~paper_value:"26.8%" ~measured:"24.1%" ~holds:true
+  in
+  let c2 =
+    Metrics.Report.claim ~experiment:"Table 3" ~description:"WC OOMs at 10GB"
+      ~paper_value:"OME(683s)" ~measured:"ran fine" ~holds:false
+  in
+  Alcotest.(check bool) "all_hold false" false (Metrics.Report.all_hold [ c1; c2 ]);
+  Alcotest.(check bool) "all_hold true" true (Metrics.Report.all_hold [ c1 ]);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let s = Metrics.Report.render [ c1; c2 ] in
+  Alcotest.(check bool) "mentions verdicts" true
+    (contains s "DIVERGES" && contains s "PASS")
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "rejects long rows" `Quick test_table_rejects_long_rows;
+          Alcotest.test_case "cell_int" `Quick test_cell_int;
+          Alcotest.test_case "cell_float" `Quick test_cell_float;
+        ] );
+      ("report", [ Alcotest.test_case "claims" `Quick test_report ]);
+    ]

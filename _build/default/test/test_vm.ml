@@ -1,0 +1,144 @@
+(* Semantics-preservation tests: for every sample program, the original P
+   (object mode) and the generated P' (facade mode) must agree on result
+   and output — the core correctness claim of the transformation. *)
+
+module P = Facade_compiler.Pipeline
+module I = Facade_vm.Interp
+
+let compile (s : Samples.sample) = P.compile ~spec:s.Samples.spec s.Samples.program
+
+let value_eq a b =
+  match a, b with
+  | Some x, Some y -> Facade_vm.Value.equal_ref x y
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let run_both (s : Samples.sample) =
+  Jir.Verify.check_or_fail s.Samples.program;
+  let pl = compile s in
+  let is_data c = Facade_compiler.Classify.is_data_class pl.P.classification c in
+  let o_obj = I.run_object ~is_data s.Samples.program in
+  let o_fac = I.run_facade pl in
+  (pl, o_obj, o_fac)
+
+let check_equivalence (s : Samples.sample) () =
+  let pl, o_obj, o_fac = run_both s in
+  Alcotest.(check bool)
+    (s.Samples.name ^ ": P and P' agree") true
+    (value_eq o_obj.I.result o_fac.I.result);
+  Alcotest.(check (list string))
+    (s.Samples.name ^ ": same output")
+    (Facade_vm.Exec_stats.output_lines o_obj.I.stats)
+    (Facade_vm.Exec_stats.output_lines o_fac.I.stats);
+  (match s.Samples.expected with
+  | Some c ->
+      Alcotest.(check bool)
+        (s.Samples.name ^ ": expected result") true
+        (value_eq (Some (Facade_vm.Value.of_const c)) o_obj.I.result)
+  | None -> ());
+  (* Every pool access stayed within the static bound (paper §3.3). *)
+  Hashtbl.iter
+    (fun tid max_idx ->
+      let b = Facade_compiler.Bounds.bound pl.P.bounds ~type_id:tid in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: pool %d within bound" s.Samples.name tid)
+        true (max_idx < b))
+    o_fac.I.stats.Facade_vm.Exec_stats.max_pool_index
+
+let check_transformed_verifies (s : Samples.sample) () =
+  let pl = compile s in
+  Jir.Verify.check_or_fail pl.P.transformed
+
+let test_fig2_objects () =
+  let _, o_obj, o_fac = run_both Samples.fig2 in
+  (* P creates heap objects for every data item... *)
+  Alcotest.(check bool) "P allocates data objects" true
+    (o_obj.I.stats.Facade_vm.Exec_stats.data_objects >= 3);
+  (* ...while P' represents them as page records. *)
+  Alcotest.(check bool) "P' allocates no data heap objects" true
+    (o_fac.I.stats.Facade_vm.Exec_stats.data_objects = 0);
+  Alcotest.(check bool) "P' allocates page records" true
+    (o_fac.I.stats.Facade_vm.Exec_stats.page_records >= 3)
+
+let test_iteration_recycles_pages () =
+  let _, _, o_fac = run_both Samples.iteration in
+  match o_fac.I.store_stats with
+  | None -> Alcotest.fail "no store stats in facade mode"
+  | Some st ->
+      Alcotest.(check bool) "pages were recycled across iterations" true
+        (st.Pagestore.Store.pages_recycled > 0);
+      Alcotest.(check bool) "records were paged" true
+        (st.Pagestore.Store.records_allocated >= 2000)
+
+let test_facades_bounded () =
+  (* The total facade population is the per-thread bound — independent of
+     how many records the program creates (fig2 vs iteration's 2000). *)
+  let pl_small, _, small = run_both Samples.fig2 in
+  let _, _, big = run_both Samples.iteration in
+  Alcotest.(check bool) "facade count is static" true
+    (small.I.facades_allocated = P.facades_per_thread pl_small
+    || small.I.facades_allocated > 0);
+  Alcotest.(check bool) "facades do not grow with data" true
+    (big.I.facades_allocated
+    <= small.I.facades_allocated + (2 * P.facades_per_thread pl_small))
+
+let test_iteration_object_heap () =
+  (* With a simulated heap attached, P's iteration allocations are
+     reclaimed per iteration and P' barely touches the heap. *)
+  let s = Samples.iteration in
+  let pl = compile s in
+  let heap_o =
+    Heapsim.Heap.create (Heapsim.Hconfig.make ~heap_bytes:(1 lsl 20) ())
+  in
+  let is_data c = Facade_compiler.Classify.is_data_class pl.P.classification c in
+  let (_ : I.outcome) = I.run_object ~heap:heap_o ~is_data s.Samples.program in
+  let heap_f =
+    Heapsim.Heap.create (Heapsim.Hconfig.make ~heap_bytes:(1 lsl 20) ())
+  in
+  let (_ : I.outcome) = I.run_facade ~heap:heap_f pl in
+  let gc_o = (Heapsim.Heap.stats heap_o).Heapsim.Gc_stats.objects_allocated in
+  let gc_f = (Heapsim.Heap.stats heap_f).Heapsim.Gc_stats.objects_allocated in
+  Alcotest.(check bool) "P' allocates far fewer heap objects" true (gc_f * 10 < gc_o)
+
+let pool_instance_size (pl : P.t) =
+  Pagestore.Facade_pool.total_facades
+    (Pagestore.Facade_pool.create ~bounds:(Facade_compiler.Bounds.as_array pl.P.bounds))
+
+let test_threads_get_own_pools () =
+  (* The threads sample spawns two workers: three Pools instances total
+     (paper §3.4: thread-local facade pooling). *)
+  let pl, _, o_fac = run_both Samples.threads in
+  Alcotest.(check int) "three threads' pools" (3 * pool_instance_size pl)
+    o_fac.I.facades_allocated
+
+let test_single_thread_single_pool () =
+  let pl, _, o_fac = run_both Samples.fig2 in
+  Alcotest.(check int) "one Pools instance" (pool_instance_size pl)
+    o_fac.I.facades_allocated
+
+let equivalence_cases =
+  List.map
+    (fun s -> Alcotest.test_case ("equiv " ^ s.Samples.name) `Quick (check_equivalence s))
+    Samples.all
+
+let verify_cases =
+  List.map
+    (fun s ->
+      Alcotest.test_case ("P' verifies " ^ s.Samples.name) `Quick (check_transformed_verifies s))
+    Samples.all
+
+let () =
+  Alcotest.run "facade_vm"
+    [
+      ("equivalence", equivalence_cases);
+      ("transformed-verifies", verify_cases);
+      ( "object-bounds",
+        [
+          Alcotest.test_case "fig2 object counts" `Quick test_fig2_objects;
+          Alcotest.test_case "iteration recycles pages" `Quick test_iteration_recycles_pages;
+          Alcotest.test_case "facades bounded" `Quick test_facades_bounded;
+          Alcotest.test_case "heap pressure comparison" `Quick test_iteration_object_heap;
+          Alcotest.test_case "per-thread pools" `Quick test_threads_get_own_pools;
+          Alcotest.test_case "single-thread pool" `Quick test_single_thread_single_pool;
+        ] );
+    ]

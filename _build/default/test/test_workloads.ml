@@ -1,0 +1,121 @@
+module W = Workloads
+
+let test_rng_deterministic () =
+  let a = W.Rng.create 42 and b = W.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (W.Rng.next_int64 a) (W.Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = W.Rng.create 42 in
+  let c = W.Rng.split a in
+  Alcotest.(check bool) "split differs from parent" true
+    (W.Rng.next_int64 a <> W.Rng.next_int64 c)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = W.Rng.create seed in
+      let v = W.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in bounds" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1000.0))
+    (fun (seed, bound) ->
+      let rng = W.Rng.create seed in
+      let v = W.Rng.float rng bound in
+      v >= 0.0 && v < bound)
+
+let test_graph_shape () =
+  let g = W.Graph_gen.generate ~seed:1 ~vertices:1000 ~edges:10_000 in
+  Alcotest.(check int) "edge count" 10_000 (Array.length g.W.Graph_gen.edges);
+  Array.iter
+    (fun (s, d) ->
+      Alcotest.(check bool) "src in range" true (s >= 0 && s < 1000);
+      Alcotest.(check bool) "dst in range" true (d >= 0 && d < 1000);
+      Alcotest.(check bool) "no self loop" true (s <> d))
+    g.W.Graph_gen.edges
+
+let test_graph_power_law () =
+  (* Preferential attachment must produce heavy skew: the max in-degree
+     should be far above the mean. *)
+  let g = W.Graph_gen.generate ~seed:7 ~vertices:2000 ~edges:40_000 in
+  let d = W.Graph_gen.in_degrees g in
+  let mean = 40_000 / 2000 in
+  Alcotest.(check bool) "in-degree skew" true (W.Graph_gen.max_degree d > 10 * mean)
+
+let test_graph_deterministic () =
+  let g1 = W.Graph_gen.generate ~seed:5 ~vertices:100 ~edges:500 in
+  let g2 = W.Graph_gen.generate ~seed:5 ~vertices:100 ~edges:500 in
+  Alcotest.(check bool) "same edges" true (g1.W.Graph_gen.edges = g2.W.Graph_gen.edges)
+
+let test_twitter_scaled () =
+  let g = W.Graph_gen.twitter_scaled ~seed:1 ~scale:0.0001 in
+  Alcotest.(check int) "vertices" 4200 g.W.Graph_gen.num_vertices;
+  Alcotest.(check int) "edges" 150_000 (Array.length g.W.Graph_gen.edges)
+
+let test_text_size () =
+  let t = W.Text_gen.generate ~seed:3 ~bytes_target:10_000 () in
+  Alcotest.(check bool) "reaches target" true (t.W.Text_gen.total_bytes >= 10_000);
+  Alcotest.(check bool) "no overshoot beyond one word" true
+    (t.W.Text_gen.total_bytes < 10_000 + 16)
+
+let test_text_zipf_skew () =
+  let t = W.Text_gen.generate ~seed:3 ~bytes_target:200_000 () in
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun w ->
+      Hashtbl.replace counts w (1 + Option.value ~default:0 (Hashtbl.find_opt counts w)))
+    t.W.Text_gen.words;
+  let top = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  let total = Array.length t.W.Text_gen.words in
+  let distinct = Hashtbl.length counts in
+  Alcotest.(check bool) "top word is frequent" true (top * 20 > total);
+  Alcotest.(check bool) "many distinct words" true (distinct > 100)
+
+let test_points_dims () =
+  let p = W.Points_gen.generate ~seed:1 ~n:100 ~dims:3 ~clusters:4 in
+  Alcotest.(check int) "count" 100 (Array.length p.W.Points_gen.points);
+  Array.iter
+    (fun pt -> Alcotest.(check int) "dims" 3 (Array.length pt))
+    p.W.Points_gen.points
+
+let test_datasets () =
+  let sizes = W.Datasets.hyracks_sizes in
+  Alcotest.(check (list int)) "table 3 sizes" [ 3; 5; 10; 14; 19 ] sizes;
+  let sweep = W.Datasets.fig4a_sweep () in
+  Alcotest.(check int) "five sweep points" 5 (List.length sweep);
+  let edge_counts =
+    List.map (fun (_, g) -> Array.length g.W.Graph_gen.edges) sweep
+  in
+  Alcotest.(check bool) "monotone sweep" true
+    (List.sort compare edge_counts = edge_counts)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_rng_int_bounds; prop_rng_float_bounds ]
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        ]
+        @ qsuite );
+      ( "graphs",
+        [
+          Alcotest.test_case "shape" `Quick test_graph_shape;
+          Alcotest.test_case "power law" `Quick test_graph_power_law;
+          Alcotest.test_case "deterministic" `Quick test_graph_deterministic;
+          Alcotest.test_case "twitter scaled" `Quick test_twitter_scaled;
+        ] );
+      ( "text",
+        [
+          Alcotest.test_case "size" `Quick test_text_size;
+          Alcotest.test_case "zipf skew" `Quick test_text_zipf_skew;
+        ] );
+      ("points", [ Alcotest.test_case "dims" `Quick test_points_dims ]);
+      ("datasets", [ Alcotest.test_case "configs" `Quick test_datasets ]);
+    ]
