@@ -3,7 +3,9 @@
    facade_cli experiments [NAME] [--quick]  - reproduce the paper's tables/figures
    facade_cli samples                       - list the bundled jir sample programs
    facade_cli demo NAME                     - transform + run a sample in both modes
-   facade_cli inspect NAME [--original]     - pretty-print a sample (P' by default) *)
+   facade_cli inspect NAME [--original]     - pretty-print a sample (P' by default)
+   facade_cli check FILE [--json]           - verify + flow-sensitive analyses
+   facade_cli lint FILE [--data ...]        - full FACADE invariant lint *)
 
 open Cmdliner
 
@@ -213,6 +215,113 @@ let transform_cmd =
        ~doc:"Parse a jir source file, apply the FACADE transformation, print P'.")
     Term.(ret (const run $ input $ data_roots $ output $ run_it))
 
+(* ---------- check / lint (static analysis over a jir source file) ---------- *)
+
+let jir_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"A jir program in the textual format.")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit findings as a JSON object on stdout (for CI consumption).")
+
+let emit_findings ~file ~json findings =
+  if json then print_endline (Analysis.Finding.list_to_json ~file findings)
+  else List.iter (fun f -> print_endline (Analysis.Finding.to_string f)) findings;
+  match findings with
+  | [] ->
+      if not json then print_endline "no findings";
+      `Ok ()
+  | fs -> `Error (false, Printf.sprintf "%d finding(s)" (List.length fs))
+
+(* Parse failures and structural verifier errors are reported through the
+   same finding channel so --json output stays machine-readable. *)
+let findings_of_file file analyze =
+  let source = In_channel.with_open_text file In_channel.input_all in
+  match Jir.Text_format.parse source with
+  | exception Jir.Text_format.Parse_error { line; message } ->
+      [
+        Analysis.Finding.make ~analysis:"parse"
+          ~where:(Printf.sprintf "%s:%d" file line)
+          message;
+      ]
+  | program -> (
+      match Analysis.Lint.verify_findings program with
+      | _ :: _ as errs -> errs
+      | [] -> analyze program)
+
+let check_cmd =
+  let run file json =
+    let findings =
+      findings_of_file file (fun program -> Analysis.Lint.check_program program)
+    in
+    emit_findings ~file ~json findings
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify a jir source file: structural well-formedness plus the \
+          definite-assignment and monitor-pairing analyses.")
+    Term.(ret (const run $ jir_file_arg $ json_flag))
+
+let lint_cmd =
+  let data_roots =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "data" ] ~docv:"CLASSES"
+          ~doc:
+            "Comma-separated data-class roots. When given, the boundary-leak \
+             detector runs with the resulting classification; without it only \
+             the classification-independent analyses run.")
+  in
+  let boundary =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "boundary" ] ~docv:"SPECS"
+          ~doc:
+            "Comma-separated boundary annotations, each $(i,Class:field:field...) \
+             — the class stays on the heap, the listed fields are data.")
+  in
+  let parse_boundary entry =
+    match String.split_on_char ':' entry with
+    | cls :: (_ :: _ as fields) -> (cls, fields)
+    | _ -> failwith (Printf.sprintf "bad --boundary entry %S (want Class:field...)" entry)
+  in
+  let run file data_roots boundary json =
+    match
+      findings_of_file file (fun program ->
+          let classification =
+            match data_roots with
+            | None -> None
+            | Some roots ->
+                let spec =
+                  {
+                    Facade_compiler.Classify.data_roots = roots;
+                    boundary = List.map parse_boundary boundary;
+                  }
+                in
+                Some (Facade_compiler.Classify.classify program spec)
+          in
+          Analysis.Lint.check_program ?classification program)
+    with
+    | findings -> emit_findings ~file ~json findings
+    | exception Failure msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the FACADE invariant linter over a jir source file: structural \
+          verification, definite assignment, monitor pairing, and (with \
+          $(b,--data)) the boundary-leak detector enforcing the paper's \
+          interaction-point discipline.")
+    Term.(ret (const run $ jir_file_arg $ data_roots $ boundary $ json_flag))
+
 let () =
   let info =
     Cmd.info "facade_cli" ~version:"1.0.0"
@@ -220,4 +329,13 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ experiments_cmd; samples_cmd; demo_cmd; inspect_cmd; transform_cmd ]))
+       (Cmd.group info
+          [
+            experiments_cmd;
+            samples_cmd;
+            demo_cmd;
+            inspect_cmd;
+            transform_cmd;
+            check_cmd;
+            lint_cmd;
+          ]))

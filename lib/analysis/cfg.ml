@@ -1,0 +1,34 @@
+open Jir
+
+type t = {
+  nblocks : int;
+  succs : int array array;
+  preds : int array array;
+  exits : int array;
+}
+
+let of_method (m : Ir.meth) =
+  let n = Array.length m.Ir.body in
+  let succs = Array.make n [||] in
+  let preds = Array.make n [] in
+  let exits = ref [] in
+  Array.iteri
+    (fun i (b : Ir.block) ->
+      let ss =
+        match b.Ir.term with
+        | Ir.Ret _ ->
+            exits := i :: !exits;
+            []
+        | Ir.Jump t -> [ t ]
+        | Ir.Branch (_, t1, t2) -> if t1 = t2 then [ t1 ] else [ t1; t2 ]
+      in
+      let ss = List.filter (fun t -> t >= 0 && t < n) ss in
+      succs.(i) <- Array.of_list ss;
+      List.iter (fun t -> preds.(t) <- i :: preds.(t)) ss)
+    m.Ir.body;
+  {
+    nblocks = n;
+    succs;
+    preds = Array.map (fun l -> Array.of_list (List.rev l)) preds;
+    exits = Array.of_list (List.rev !exits);
+  }

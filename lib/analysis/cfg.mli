@@ -1,0 +1,17 @@
+(** Control-flow graph of one jir method.
+
+    Blocks are identified by their index in [meth.body]; block 0 is the
+    entry. Successors come from the block terminator, predecessors are the
+    inverse relation, and exits are the blocks ending in [Ret]. Branch
+    targets outside the body (a structural error the verifier reports) are
+    dropped rather than crashing, so the analyses stay total on malformed
+    input. *)
+
+type t = {
+  nblocks : int;
+  succs : int array array;  (** successor block indices, per block *)
+  preds : int array array;  (** predecessor block indices, per block *)
+  exits : int array;        (** blocks terminated by [Ret] *)
+}
+
+val of_method : Jir.Ir.meth -> t

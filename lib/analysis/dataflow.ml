@@ -1,0 +1,68 @@
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Solver (L : LATTICE) = struct
+  type result = {
+    inb : L.t array;
+    outb : L.t array;
+  }
+
+  let solve ~dir ~(cfg : Cfg.t) ~init ~bottom ~transfer =
+    let n = cfg.Cfg.nblocks in
+    let inb = Array.make n bottom in
+    let outb = Array.make n bottom in
+    if n > 0 then begin
+      let is_exit = Array.make n false in
+      Array.iter (fun b -> is_exit.(b) <- true) cfg.Cfg.exits;
+      let q = Queue.create () in
+      let on_q = Array.make n false in
+      let push b =
+        if not on_q.(b) then begin
+          on_q.(b) <- true;
+          Queue.add b q
+        end
+      in
+      (* Seed in an order that tends to reach the fixpoint quickly. *)
+      (match dir with
+      | Forward -> for b = 0 to n - 1 do push b done
+      | Backward -> for b = n - 1 downto 0 do push b done);
+      while not (Queue.is_empty q) do
+        let b = Queue.pop q in
+        on_q.(b) <- false;
+        match dir with
+        | Forward ->
+            let i =
+              Array.fold_left
+                (fun acc p -> L.join acc outb.(p))
+                (if b = 0 then init else bottom)
+                cfg.Cfg.preds.(b)
+            in
+            inb.(b) <- i;
+            let o = transfer b i in
+            if not (L.equal o outb.(b)) then begin
+              outb.(b) <- o;
+              Array.iter push cfg.Cfg.succs.(b)
+            end
+        | Backward ->
+            let o =
+              Array.fold_left
+                (fun acc s -> L.join acc inb.(s))
+                (if is_exit.(b) then init else bottom)
+                cfg.Cfg.succs.(b)
+            in
+            outb.(b) <- o;
+            let i = transfer b o in
+            if not (L.equal i inb.(b)) then begin
+              inb.(b) <- i;
+              Array.iter push cfg.Cfg.preds.(b)
+            end
+      done
+    end;
+    { inb; outb }
+end

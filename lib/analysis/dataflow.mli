@@ -1,0 +1,42 @@
+(** Generic intraprocedural dataflow: a worklist fixpoint solver over a
+    method's {!Cfg}, parameterized by direction and lattice.
+
+    Every analysis in this library instantiates [Solver] — none carries its
+    own fixpoint loop. The lattice only needs [equal] and [join]; the
+    extremal values are passed per call:
+
+    - [init] is the boundary value — at the entry block for a [Forward]
+      analysis, at every [Ret] block for a [Backward] one;
+    - [bottom] is the identity of [join] and the optimistic initial value
+      of every block. For a may-analysis (join = union) it is the empty
+      set; for a must-analysis (join = intersection) it is the universe.
+
+    [transfer b x] is the whole-block transfer function: it maps the
+    in-value of block [b] to its out-value (forward), or the out-value to
+    the in-value (backward). Termination requires the usual monotone
+    transfer over a finite-height lattice, which all clients here satisfy
+    (finite variable and definition sets per method). *)
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Solver (L : LATTICE) : sig
+  type result = {
+    inb : L.t array;   (** value at block entry *)
+    outb : L.t array;  (** value at block exit *)
+  }
+
+  val solve :
+    dir:direction ->
+    cfg:Cfg.t ->
+    init:L.t ->
+    bottom:L.t ->
+    transfer:(int -> L.t -> L.t) ->
+    result
+end

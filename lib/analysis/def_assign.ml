@@ -1,0 +1,60 @@
+open Jir
+
+module S = Dataflow.Solver (struct
+  type t = Vset.t
+
+  let equal = Vset.equal
+  let join = Vset.inter
+end)
+
+let analysis = "def-assign"
+
+let declared (m : Ir.meth) =
+  let s =
+    Vset.of_list (List.map fst m.Ir.params @ List.map fst m.Ir.locals)
+  in
+  if m.Ir.mstatic then s else Vset.add "this" s
+
+let entry_assigned (m : Ir.meth) =
+  let s = Vset.of_list (List.map fst m.Ir.params) in
+  if m.Ir.mstatic then s else Vset.add "this" s
+
+let block_transfer (blk : Ir.block) s =
+  List.fold_left
+    (fun s ins -> match Defuse.def ins with Some d -> Vset.add d s | None -> s)
+    s blk.Ir.instrs
+
+let check ~where (m : Ir.meth) =
+  if Array.length m.Ir.body = 0 then []
+  else begin
+    let cfg = Cfg.of_method m in
+    let uni = declared m in
+    let r =
+      S.solve ~dir:Dataflow.Forward ~cfg ~init:(entry_assigned m) ~bottom:uni
+        ~transfer:(fun b s -> block_transfer m.Ir.body.(b) s)
+    in
+    let findings = ref [] in
+    let report block index v =
+      findings :=
+        Finding.make ~analysis ~where ~block ~index
+          (Printf.sprintf "variable %s may be used before assignment" v)
+        :: !findings
+    in
+    Array.iteri
+      (fun b (blk : Ir.block) ->
+        let s = ref r.S.inb.(b) in
+        List.iteri
+          (fun i ins ->
+            List.iter
+              (fun v -> if Vset.mem v uni && not (Vset.mem v !s) then report b i v)
+              (List.sort_uniq String.compare (Defuse.uses ins));
+            match Defuse.def ins with
+            | Some d -> s := Vset.add d !s
+            | None -> ())
+          blk.Ir.instrs;
+        List.iter
+          (fun v -> if Vset.mem v uni && not (Vset.mem v !s) then report b (-1) v)
+          (Defuse.term_uses blk.Ir.term))
+      m.Ir.body;
+    List.rev !findings
+  end

@@ -1,0 +1,9 @@
+(** Definite assignment (forward, must).
+
+    Upgrades the structural verifier's "declared" check to "initialized
+    along all paths": a use of a declared variable that is not assigned on
+    every path from entry is reported. Parameters and the implicit [this]
+    count as assigned at entry; uses of undeclared variables are left to
+    {!Jir.Verify} and not double-reported here. *)
+
+val check : where:string -> Jir.Ir.meth -> Finding.t list

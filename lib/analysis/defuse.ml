@@ -1,0 +1,40 @@
+open Jir
+
+let def = function
+  | Ir.Const (v, _)
+  | Ir.Move (v, _)
+  | Ir.Binop (v, _, _, _)
+  | Ir.Unop (v, _, _)
+  | Ir.New (v, _)
+  | Ir.New_array (v, _, _)
+  | Ir.Field_load (v, _, _)
+  | Ir.Static_load (v, _, _)
+  | Ir.Array_load (v, _, _)
+  | Ir.Array_length (v, _)
+  | Ir.Instance_of (v, _, _)
+  | Ir.Cast (v, _, _) ->
+      Some v
+  | Ir.Call (ret, _, _, _, _, _) | Ir.Intrinsic (ret, _, _) -> ret
+  | Ir.Field_store _ | Ir.Static_store _ | Ir.Array_store _ | Ir.Monitor_enter _
+  | Ir.Monitor_exit _ | Ir.Iter_start | Ir.Iter_end ->
+      None
+
+let uses = function
+  | Ir.Const _ | Ir.New _ | Ir.Static_load _ | Ir.Iter_start | Ir.Iter_end -> []
+  | Ir.Move (_, s) | Ir.Unop (_, _, s) | Ir.Static_store (_, _, s)
+  | Ir.Array_length (_, s) | Ir.Instance_of (_, s, _) | Ir.Cast (_, s, _)
+  | Ir.New_array (_, _, s) | Ir.Monitor_enter s | Ir.Monitor_exit s ->
+      [ s ]
+  | Ir.Binop (_, _, x, y) -> [ x; y ]
+  | Ir.Field_load (_, o, _) -> [ o ]
+  | Ir.Field_store (o, _, s) -> [ o; s ]
+  | Ir.Array_load (_, a, i) -> [ a; i ]
+  | Ir.Array_store (a, i, s) -> [ a; i; s ]
+  | Ir.Call (_, _, _, _, recv, args) -> Option.to_list recv @ args
+  | Ir.Intrinsic (_, _, ops) ->
+      List.filter_map (function Ir.Var v -> Some v | Ir.Imm _ -> None) ops
+
+let term_uses = function
+  | Ir.Ret (Some v) -> [ v ]
+  | Ir.Ret None | Ir.Jump _ -> []
+  | Ir.Branch (v, _, _) -> [ v ]

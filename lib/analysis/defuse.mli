@@ -1,0 +1,8 @@
+(** Def/use extraction per jir instruction.
+
+    Every jir instruction defines at most one variable; everything else it
+    touches is a use. Terminators only use. *)
+
+val def : Jir.Ir.instr -> Jir.Ir.var option
+val uses : Jir.Ir.instr -> Jir.Ir.var list
+val term_uses : Jir.Ir.terminator -> Jir.Ir.var list

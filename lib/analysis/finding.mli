@@ -1,0 +1,28 @@
+(** Analysis findings, with positions and JSON encoding.
+
+    A finding locates a violation by method ([where], "Class.method"),
+    basic-block index and instruction index within the block. [index] is
+    [-1] for the block terminator or block-level findings; [block] is [-1]
+    for method- or class-level findings (e.g. structural verifier errors
+    wrapped for uniform CLI output). *)
+
+type t = {
+  analysis : string;  (** e.g. "def-assign", "monitors", "boundary-leak" *)
+  where : string;
+  block : int;
+  index : int;
+  what : string;
+}
+
+val make : analysis:string -> where:string -> ?block:int -> ?index:int -> string -> t
+
+val of_verify_error : Jir.Verify.error -> t
+(** Wrap a structural verifier error as an ["verify"] finding. *)
+
+val to_string : t -> string
+
+val to_json : t -> string
+
+val list_to_json : ?file:string -> t list -> string
+(** A JSON object [{"file": ..., "count": n, "findings": [...]}]; the
+    [file] key is omitted when not provided. *)

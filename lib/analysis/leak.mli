@@ -1,0 +1,31 @@
+(** Boundary-leak detection (forward taint): the paper's interaction-point
+    discipline (§3.5) as a checkable lint.
+
+    Data references must cross from the data path into the control path
+    only through the synthesized conversion functions (the [convert.to] /
+    [convert.from] intrinsics). Given a classification, this analysis
+    taints, inside every data-path method, the values that carry raw data
+    references — variables of data type (per {!Facade_compiler.Classify.is_data_type}),
+    allocations of data classes, and the page-reference-producing runtime
+    intrinsics ([rt.alloc], [facade.read], [rt.get_ref], ...) — and
+    reports any tainted value flowing into a control-path field store,
+    static store, array store, or a non-conversion control-path call.
+    Conversion intrinsics launder taint: their results are legitimate heap
+    copies.
+
+    Data-path methods are those of data classes, boundary classes, and
+    facade classes of data classes. A data class whose facade counterpart
+    exists in the same program (i.e. transformed output P′ keeping the
+    original class for control-path use, §3.1) is the heap copy and is
+    skipped: its data-typed values are converted heap instances. *)
+
+val check : Facade_compiler.Classify.t -> Jir.Program.t -> Finding.t list
+
+val check_method :
+  Facade_compiler.Classify.t ->
+  where:string ->
+  declaring:string ->
+  Jir.Ir.meth ->
+  Finding.t list
+(** Analyze a single method as a member of class [declaring]. Exposed for
+    tests; {!check} applies it to every data-path method of the program. *)

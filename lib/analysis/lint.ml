@@ -1,0 +1,18 @@
+open Jir
+
+let check_method ~where m = Def_assign.check ~where m @ Monitors.check ~where m
+
+let check_program ?classification (p : Program.t) =
+  let per_method =
+    List.concat_map
+      (fun (c : Ir.cls) ->
+        List.concat_map
+          (fun (m : Ir.meth) -> check_method ~where:(c.Ir.cname ^ "." ^ m.Ir.mname) m)
+          c.Ir.cmethods)
+      (Program.classes p)
+  in
+  match classification with
+  | Some cl -> per_method @ Leak.check cl p
+  | None -> per_method
+
+let verify_findings p = List.map Finding.of_verify_error (Verify.check_program p)

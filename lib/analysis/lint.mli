@@ -1,0 +1,18 @@
+(** The FACADE invariant linter: runs the flow-sensitive analyses over a
+    whole program and collects findings.
+
+    [check_program] runs definite assignment and monitor pairing on every
+    method body; when a classification is supplied (the [--data] roots of
+    [facade_cli lint], or the pipeline's own classification), the
+    boundary-leak detector runs too. Structural verification is separate
+    ({!Jir.Verify}); [verify_findings] wraps its errors in the same
+    finding type so CLI output is uniform. *)
+
+val check_program :
+  ?classification:Facade_compiler.Classify.t -> Jir.Program.t -> Finding.t list
+
+val check_method : where:string -> Jir.Ir.meth -> Finding.t list
+(** The classification-independent method analyses: definite assignment
+    and monitor pairing. *)
+
+val verify_findings : Jir.Program.t -> Finding.t list

@@ -1,0 +1,36 @@
+open Jir
+
+module S = Dataflow.Solver (struct
+  type t = Vset.t
+
+  let equal = Vset.equal
+  let join = Vset.union
+end)
+
+type t = {
+  live_in : Vset.t array;
+  live_out : Vset.t array;
+}
+
+(* out -> in: terminator first (it runs last), then instructions in
+   reverse; at each instruction kill the def, then gen the uses. *)
+let block_transfer (blk : Ir.block) out =
+  let add s vs = List.fold_left (fun s v -> Vset.add v s) s vs in
+  let s = add out (Defuse.term_uses blk.Ir.term) in
+  List.fold_left
+    (fun s ins ->
+      let s = match Defuse.def ins with Some d -> Vset.remove d s | None -> s in
+      add s (Defuse.uses ins))
+    s
+    (List.rev blk.Ir.instrs)
+
+let analyze (m : Ir.meth) =
+  let cfg = Cfg.of_method m in
+  let r =
+    S.solve ~dir:Dataflow.Backward ~cfg ~init:Vset.empty ~bottom:Vset.empty
+      ~transfer:(fun b out -> block_transfer m.Ir.body.(b) out)
+  in
+  { live_in = r.S.inb; live_out = r.S.outb }
+
+let live_in t b = t.live_in.(b)
+let live_out t b = t.live_out.(b)

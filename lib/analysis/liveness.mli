@@ -1,0 +1,15 @@
+(** Live-variable analysis (backward, may).
+
+    A variable is live at a point if some path from that point reads it
+    before writing it. Used as the framework's backward exemplar and by
+    tests; produces no findings itself. *)
+
+type t = {
+  live_in : Vset.t array;   (** live variables at block entry *)
+  live_out : Vset.t array;  (** live variables at block exit *)
+}
+
+val analyze : Jir.Ir.meth -> t
+
+val live_in : t -> int -> Vset.t
+val live_out : t -> int -> Vset.t

@@ -1,0 +1,125 @@
+open Jir
+module Smap = Map.Make (String)
+
+let analysis = "monitors"
+
+(* Lattice: the multiset of held monitors (variable -> nesting depth),
+   with [Unreached] below everything and [Conflict] absorbing joins of
+   paths that disagree. Maps are normalized to hold only positive depths
+   so structural equality is the lattice equality. *)
+type state =
+  | Unreached
+  | Held of int Smap.t
+  | Conflict
+
+module S = Dataflow.Solver (struct
+  type t = state
+
+  let equal a b =
+    match a, b with
+    | Unreached, Unreached | Conflict, Conflict -> true
+    | Held x, Held y -> Smap.equal Int.equal x y
+    | (Unreached | Held _ | Conflict), _ -> false
+
+  let join a b =
+    match a, b with
+    | Unreached, x | x, Unreached -> x
+    | Conflict, _ | _, Conflict -> Conflict
+    | Held x, Held y -> if Smap.equal Int.equal x y then a else Conflict
+end)
+
+let as_enter = function
+  | Ir.Monitor_enter v -> Some v
+  | Ir.Intrinsic (None, n, [ Ir.Var v ])
+    when String.equal n Facade_compiler.Rt_names.lock_enter ->
+      Some v
+  | _ -> None
+
+let as_exit = function
+  | Ir.Monitor_exit v -> Some v
+  | Ir.Intrinsic (None, n, [ Ir.Var v ])
+    when String.equal n Facade_compiler.Rt_names.lock_exit ->
+      Some v
+  | _ -> None
+
+let depth m v = Option.value ~default:0 (Smap.find_opt v m)
+
+let enter v m = Smap.add v (depth m v + 1) m
+
+(* An unmatched exit leaves the state unchanged; the findings pass reports
+   it, and treating it as a no-op avoids cascading noise downstream. *)
+let exit_ v m =
+  match depth m v with
+  | 0 -> m
+  | 1 -> Smap.remove v m
+  | d -> Smap.add v (d - 1) m
+
+let step_instr st ins =
+  match st with
+  | Unreached | Conflict -> st
+  | Held m -> (
+      match as_enter ins, as_exit ins with
+      | Some v, _ -> Held (enter v m)
+      | None, Some v -> Held (exit_ v m)
+      | None, None -> st)
+
+let block_transfer (blk : Ir.block) st = List.fold_left step_instr st blk.Ir.instrs
+
+let check ~where (m : Ir.meth) =
+  if Array.length m.Ir.body = 0 then []
+  else begin
+    let cfg = Cfg.of_method m in
+    let r =
+      S.solve ~dir:Dataflow.Forward ~cfg ~init:(Held Smap.empty) ~bottom:Unreached
+        ~transfer:(fun b st -> block_transfer m.Ir.body.(b) st)
+    in
+    let findings = ref [] in
+    let report block index what =
+      findings := Finding.make ~analysis ~where ~block ~index what :: !findings
+    in
+    Array.iteri
+      (fun b (blk : Ir.block) ->
+        match r.S.inb.(b) with
+        | Unreached -> ()
+        | Conflict ->
+            (* Report only where the conflict originates: two predecessor
+               paths (or a back edge into the entry) arrive with different
+               held-monitor multisets. Propagated conflicts stay silent. *)
+            let contribs =
+              (if b = 0 then [ Held Smap.empty ] else [])
+              @ Array.to_list (Array.map (fun p -> r.S.outb.(p)) cfg.Cfg.preds.(b))
+            in
+            let helds =
+              List.filter_map (function Held m -> Some m | Unreached | Conflict -> None) contribs
+            in
+            let distinct =
+              List.fold_left
+                (fun acc m -> if List.exists (Smap.equal Int.equal m) acc then acc else m :: acc)
+                [] helds
+            in
+            if List.length distinct >= 2 then
+              report b (-1)
+                "paths joining here disagree on held monitors (monitorenter not matched on all branches)"
+        | Held m0 ->
+            let st = ref m0 in
+            List.iteri
+              (fun i ins ->
+                (match as_exit ins with
+                | Some v when depth !st v = 0 ->
+                    report b i (Printf.sprintf "monitorexit %s without a matching monitorenter" v)
+                | Some _ | None -> ());
+                match step_instr (Held !st) ins with
+                | Held m' -> st := m'
+                | Unreached | Conflict -> ())
+              blk.Ir.instrs;
+            (match blk.Ir.term with
+            | Ir.Ret _ ->
+                Smap.iter
+                  (fun v d ->
+                    report b (-1)
+                      (Printf.sprintf "monitor on %s still held at return (depth %d)" v d))
+                  !st
+            | Ir.Jump _ | Ir.Branch _ -> ()))
+      m.Ir.body;
+    List.rev !findings
+  end

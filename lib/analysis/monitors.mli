@@ -1,0 +1,16 @@
+(** Monitor-pairing analysis (forward).
+
+    The static counterpart of the paper's §3.2 lock-pool protocol: on
+    every path, each [Monitor_enter v] must be matched by a [Monitor_exit
+    v] before the method returns, and no [Monitor_exit] may run without a
+    preceding enter. Tracking is per variable name (the standard
+    alias-insensitive approximation), with reentrant nesting counted. The
+    transformed program's [lock.enter]/[lock.exit] intrinsics follow the
+    same protocol and are recognized too, so the lint applies to P′ as
+    well as P.
+
+    Reported violations: an exit without a matching enter, a monitor still
+    held at a [Ret], and join points whose incoming paths disagree on the
+    held-monitor multiset (e.g. an enter on only one branch arm). *)
+
+val check : where:string -> Jir.Ir.meth -> Finding.t list

@@ -1,0 +1,24 @@
+(** Reaching definitions (forward, may).
+
+    A definition site is a (block, instruction index, variable) triple;
+    parameters and the implicit [this] are modelled as definitions at the
+    pseudo-site [(-1, -1)]. A site reaches a point if some path from the
+    site to the point does not redefine the variable. *)
+
+type site = {
+  block : int;  (** -1 for parameter/this entry definitions *)
+  index : int;
+  var : Jir.Ir.var;
+}
+
+module Sset : Set.S with type elt = site
+
+type t = {
+  reach_in : Sset.t array;
+  reach_out : Sset.t array;
+}
+
+val analyze : Jir.Ir.meth -> t
+
+val defs_of : Sset.t -> Jir.Ir.var -> site list
+(** The definition sites of one variable within a reaching set. *)

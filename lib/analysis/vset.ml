@@ -1,0 +1,2 @@
+(* Variable sets — the lattice carrier shared by the set-based analyses. *)
+include Set.Make (String)

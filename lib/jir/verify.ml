@@ -58,8 +58,13 @@ let check_method p (c : Ir.cls) (m : Ir.meth) =
   let errs = ref [] in
   let err what = errs := { where; what } :: !errs in
   let declared = Hashtbl.create 16 in
-  List.iter (fun (v, _) -> Hashtbl.replace declared v ()) m.Ir.params;
-  List.iter (fun (v, _) -> Hashtbl.replace declared v ()) m.Ir.locals;
+  (* Duplicate declarations across params and locals would silently shadow
+     each other in the VM's single frame environment. *)
+  List.iter
+    (fun (v, _) ->
+      if Hashtbl.mem declared v then err (Printf.sprintf "duplicate variable %s" v)
+      else Hashtbl.replace declared v ())
+    (m.Ir.params @ m.Ir.locals);
   if not m.Ir.mstatic then Hashtbl.replace declared "this" ();
   let nblocks = Array.length m.Ir.body in
   let check_var v =
@@ -109,6 +114,15 @@ let check_class p (c : Ir.cls) =
         if List.exists (String.equal c.Ir.cname) chain then err "cyclic class hierarchy"
       end
   | None -> ());
+  (* Method lookup is by name, so a second method of the same name within
+     a class is unreachable — reject it instead of silently shadowing. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Ir.meth) ->
+      if Hashtbl.mem seen m.Ir.mname then
+        err (Printf.sprintf "duplicate method %s" m.Ir.mname)
+      else Hashtbl.replace seen m.Ir.mname ())
+    c.Ir.cmethods;
   List.iter (fun m -> errs := check_method p c m @ !errs) c.Ir.cmethods;
   !errs
 

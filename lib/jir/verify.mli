@@ -2,8 +2,12 @@
 
     The verifier enforces the structural invariants the transformation and
     the VM rely on: every used variable is declared (parameters, locals, or
-    the implicit [this]), branch targets exist, referenced classes, fields,
-    and methods resolve, and class hierarchies are acyclic. *)
+    the implicit [this]) exactly once, branch targets exist, referenced
+    classes, fields, and methods resolve, method names are unique within a
+    class, and class hierarchies are acyclic.
+
+    Flow-sensitive checking (use-before-def along paths, monitor pairing,
+    boundary-leak discipline) lives in the [analysis] library. *)
 
 type error = {
   where : string;  (** "Class.method" or "Class" *)

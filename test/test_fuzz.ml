@@ -162,11 +162,31 @@ let program_of_ops ops =
 
 let spec = { Facade_compiler.Classify.data_roots = [ "D"; "Main" ]; boundary = [] }
 
+(* Every generated program is verifier-clean, so the flow-sensitive
+   analyses must terminate without crashing and report nothing — on the
+   original P and on the transformed P'. *)
+let analyses_clean p =
+  List.iter
+    (fun (c : Ir.cls) ->
+      List.iter
+        (fun (m : Ir.meth) ->
+          let where = c.Ir.cname ^ "." ^ m.Ir.mname in
+          ignore (Analysis.Liveness.analyze m);
+          match Analysis.Lint.check_method ~where m with
+          | [] -> ()
+          | fs ->
+              failwith
+                (String.concat "; " (List.map Analysis.Finding.to_string fs)))
+        c.Ir.cmethods)
+    (Program.classes p)
+
 let run_differential ops =
   let program = program_of_ops ops in
   Verify.check_or_fail program;
+  analyses_clean program;
   let pl = Facade_compiler.Pipeline.compile ~spec program in
   Verify.check_or_fail pl.Facade_compiler.Pipeline.transformed;
+  analyses_clean pl.Facade_compiler.Pipeline.transformed;
   let is_data c =
     Facade_compiler.Classify.is_data_class pl.Facade_compiler.Pipeline.classification c
   in

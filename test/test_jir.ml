@@ -86,6 +86,35 @@ let test_verify_unknown_method () =
        (fun (e : Verify.error) -> e.Verify.what = "unknown method Main.nope")
        (Verify.check_program p))
 
+let test_verify_duplicate_variable () =
+  (* The builder can't produce this (declare is idempotent), so assemble a
+     method whose param name collides with a local by record surgery. *)
+  let m = B.create ~static:true "main" ~params:[ ("p", int_t) ] in
+  let b = B.entry m in
+  B.ret b None;
+  let meth = { (B.finish m) with Ir.locals = [ ("p", int_t) ] } in
+  let p = mk_program [ B.cls "Main" ~methods:[ meth ] ] in
+  Alcotest.(check bool) "catches duplicate variable" true
+    (List.exists
+       (fun (e : Verify.error) -> e.Verify.what = "duplicate variable p")
+       (Verify.check_program p))
+
+let test_verify_duplicate_method () =
+  let mk () =
+    let m = B.create ~static:true "twice" in
+    let b = B.entry m in
+    B.ret b None;
+    B.finish m
+  in
+  let p =
+    mk_program
+      [ B.cls "Main" ~methods:[ simple_method (); mk (); mk () ] ]
+  in
+  Alcotest.(check bool) "catches duplicate method" true
+    (List.exists
+       (fun (e : Verify.error) -> e.Verify.what = "duplicate method twice")
+       (Verify.check_program p))
+
 let hierarchy_fixture () =
   let a = B.cls "A" in
   let b = B.cls "B" ~super:"A" in
@@ -186,6 +215,8 @@ let () =
           Alcotest.test_case "undeclared var" `Quick test_verify_undeclared_var;
           Alcotest.test_case "bad branch" `Quick test_verify_bad_branch;
           Alcotest.test_case "unknown method" `Quick test_verify_unknown_method;
+          Alcotest.test_case "duplicate variable" `Quick test_verify_duplicate_variable;
+          Alcotest.test_case "duplicate method" `Quick test_verify_duplicate_method;
           Alcotest.test_case "samples verify" `Quick test_samples_verify;
         ] );
       ( "hierarchy",
