@@ -92,6 +92,86 @@ let run_micro () =
     (List.sort (fun (a, _) (b, _) -> compare a b) rows);
   Metrics.Table.print table
 
+(* ---------- VM: resolved interpreter vs the name-based baseline ---------- *)
+
+module VP = Facade_compiler.Pipeline
+
+(* Time whole executions after one warm-up run (which pays for linking and
+   cache fills on both sides), and report steps per wall-clock second. *)
+let vm_time ~min_time ~min_runs run =
+  ignore (run () : Facade_vm.Interp.outcome);
+  let t0 = Unix.gettimeofday () in
+  let steps = ref 0 and runs = ref 0 in
+  while !runs < min_runs || Unix.gettimeofday () -. t0 < min_time do
+    let o = run () in
+    let stats = o.Facade_vm.Interp.stats in
+    steps := !steps + stats.Facade_vm.Exec_stats.steps;
+    incr runs
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (!runs, float_of_int !steps /. dt)
+
+let run_vm ~quick =
+  print_endline "== VM: resolved interpreter vs name-based baseline (steps/s) ==";
+  let min_time = if quick then 0.25 else 1.5 in
+  let min_runs = if quick then 3 else 10 in
+  let pagerank =
+    if quick then Samples.pagerank_sized ~n:48 ~iters:12
+    else Samples.pagerank_sized ~n:96 ~iters:40
+  in
+  let workloads =
+    [ pagerank; Samples.linked_list; Samples.iteration; Samples.collections ]
+  in
+  let results = ref [] in
+  let bench_pair ~name ~mode ~baseline ~resolved =
+    let _, base_sps = vm_time ~min_time ~min_runs baseline in
+    let runs, res_sps = vm_time ~min_time ~min_runs resolved in
+    results := (name, mode, base_sps, res_sps, res_sps /. base_sps, runs) :: !results
+  in
+  List.iter
+    (fun (s : Samples.sample) ->
+      let pl = VP.compile ~spec:s.Samples.spec s.Samples.program in
+      let is_data c = Facade_compiler.Classify.is_data_class pl.VP.classification c in
+      bench_pair ~name:s.Samples.name ~mode:"object"
+        ~baseline:(fun () ->
+          Facade_vm.Interp_baseline.run_object ~is_data s.Samples.program)
+        ~resolved:(fun () -> Facade_vm.Interp.run_object ~is_data s.Samples.program);
+      if s.Samples.name = "pagerank" then
+        bench_pair ~name:s.Samples.name ~mode:"facade"
+          ~baseline:(fun () -> Facade_vm.Interp_baseline.run_facade pl)
+          ~resolved:(fun () -> Facade_vm.Interp.run_facade pl))
+    workloads;
+  let rows = List.rev !results in
+  let table =
+    Metrics.Table.create
+      ~headers:[ "Program"; "Mode"; "baseline steps/s"; "resolved steps/s"; "speedup" ]
+  in
+  List.iter
+    (fun (name, mode, b, r, sp, _) ->
+      Metrics.Table.add_row table
+        [
+          name; mode;
+          Metrics.Table.cell_float ~decimals:0 b;
+          Metrics.Table.cell_float ~decimals:0 r;
+          Metrics.Table.cell_float ~decimals:2 sp;
+        ])
+    rows;
+  Metrics.Table.print table;
+  let oc = open_out "BENCH_vm.json" in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, mode, b, r, sp, runs) ->
+      Printf.fprintf oc
+        "    {\"program\": %S, \"mode\": %S, \"runs\": %d, \
+         \"baseline_steps_per_sec\": %.0f, \"resolved_steps_per_sec\": %.0f, \
+         \"speedup\": %.3f}%s\n"
+        name mode runs b r sp
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_vm.json"
+
 (* ---------- entry point ---------- *)
 
 let () =
@@ -106,11 +186,12 @@ let () =
       print_newline ();
       run_micro ()
   | [ "micro" ] -> run_micro ()
+  | [ "vm" ] -> run_vm ~quick
   | [ name ] -> (
       match Experiments.Harness.selection_of_string name with
       | Some sel -> ignore (Experiments.Harness.run ~quick sel)
       | None ->
-          Printf.eprintf "unknown experiment %s; one of: %s|micro\n" name
+          Printf.eprintf "unknown experiment %s; one of: %s|micro|vm\n" name
             (String.concat "|" Experiments.Harness.selection_names);
           exit 2)
   | _ ->

@@ -58,6 +58,8 @@ let validate_transformed cl bounds (p' : Jir.Program.t) =
     (Jir.Program.classes p');
   List.rev !errs
 
+type artifact = ..
+
 type t = {
   original : Jir.Program.t;
   transformed : Jir.Program.t;
@@ -69,7 +71,11 @@ type t = {
   instrs_out : int;
   classes_transformed : int;
   seconds : float;
+  mutable artifact : artifact option;
 }
+
+let artifact t = t.artifact
+let set_artifact t a = t.artifact <- Some a
 
 let compile ?(devirtualize = true) ?oversize_static_threshold ~spec p =
   let t0 = Unix.gettimeofday () in
@@ -94,6 +100,7 @@ let compile ?(devirtualize = true) ?oversize_static_threshold ~spec p =
     instrs_out = r.Transform.instrs_out;
     classes_transformed = r.Transform.classes_transformed;
     seconds;
+    artifact = None;
   }
 
 let instrs_per_second t =

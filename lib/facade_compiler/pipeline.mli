@@ -13,6 +13,11 @@ exception Invalid_transform of validation_error list
 (** The post-transform validation failed: P′ violates an invariant the
     runtime depends on. This is a compiler bug, not a user error. *)
 
+type artifact = ..
+(** Downstream stages (the VM's linker) cache their lowering of P′ here,
+    keyed by extending this type — the pipeline owns the generated
+    program, so it also owns the derived executable form. *)
+
 type t = {
   original : Jir.Program.t;
   transformed : Jir.Program.t;
@@ -24,7 +29,14 @@ type t = {
   instrs_out : int;
   classes_transformed : int;
   seconds : float;               (** wall-clock transformation time *)
+  mutable artifact : artifact option;  (** linked P′, set on first link *)
 }
+
+val artifact : t -> artifact option
+val set_artifact : t -> artifact -> unit
+(** The linked-form cache: {!compile} leaves it [None]; the first
+    {!Facade_vm.Interp.run_facade} on this pipeline fills it so later runs
+    skip re-linking. *)
 
 val compile :
   ?devirtualize:bool ->

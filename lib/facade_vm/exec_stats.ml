@@ -1,3 +1,23 @@
+let mix_labels =
+  [|
+    "const"; "move"; "arith"; "alloc"; "field"; "static"; "array"; "call";
+    "typetest"; "monitor"; "iter"; "intrinsic"; "other";
+  |]
+
+let cat_const = 0
+let cat_move = 1
+let cat_arith = 2
+let cat_alloc = 3
+let cat_field = 4
+let cat_static = 5
+let cat_array = 6
+let cat_call = 7
+let cat_typetest = 8
+let cat_monitor = 9
+let cat_iter = 10
+let cat_intrinsic = 11
+let cat_other = 12
+
 type t = {
   mutable heap_objects : int;
   mutable data_objects : int;
@@ -6,6 +26,10 @@ type t = {
   max_pool_index : (int, int) Hashtbl.t;
   mutable steps : int;
   mutable output : string list;
+  mutable static_dispatches : int;
+  mutable virtual_dispatches : int;
+  mutable intrinsic_dispatches : int;
+  mix : int array;
 }
 
 let create () =
@@ -17,6 +41,10 @@ let create () =
     max_pool_index = Hashtbl.create 16;
     steps = 0;
     output = [];
+    static_dispatches = 0;
+    virtual_dispatches = 0;
+    intrinsic_dispatches = 0;
+    mix = Array.make (Array.length mix_labels) 0;
   }
 
 let note_alloc t ~cls ~is_data =
@@ -34,3 +62,6 @@ let note_pool_use t ~type_id ~index =
 let output_lines t = List.rev t.output
 
 let class_count t cls = Option.value ~default:0 (Hashtbl.find_opt t.by_class cls)
+
+let instr_mix t =
+  Array.to_list (Array.mapi (fun i n -> (mix_labels.(i), n)) t.mix)

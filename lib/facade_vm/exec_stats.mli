@@ -1,6 +1,26 @@
 (** Execution statistics the experiments observe: object populations per
-    class (the paper's E7-style counts), page records, pool usage, and the
-    program's captured output (used by the P ≡ P′ equivalence tests). *)
+    class (the paper's E7-style counts), page records, pool usage, the
+    program's captured output (used by the P ≡ P′ equivalence tests), and
+    — since the resolved-execution layer — dispatch and instruction-mix
+    counters that make the interpreter's hot-path behaviour observable. *)
+
+val mix_labels : string array
+(** Names of the instruction-mix categories, indexed by the [cat_*]
+    constants below (in the same order as {!t.mix}). *)
+
+val cat_const : int
+val cat_move : int
+val cat_arith : int
+val cat_alloc : int
+val cat_field : int
+val cat_static : int
+val cat_array : int
+val cat_call : int
+val cat_typetest : int
+val cat_monitor : int
+val cat_iter : int
+val cat_intrinsic : int
+val cat_other : int
 
 type t = {
   mutable heap_objects : int;        (** all heap allocations (P: incl. data) *)
@@ -10,6 +30,10 @@ type t = {
   max_pool_index : (int, int) Hashtbl.t;  (** type id → max param index used *)
   mutable steps : int;
   mutable output : string list;      (** reversed sys.print lines *)
+  mutable static_dispatches : int;   (** static/special calls executed *)
+  mutable virtual_dispatches : int;  (** vtable dispatches executed *)
+  mutable intrinsic_dispatches : int;  (** pre-bound intrinsic invocations *)
+  mix : int array;                   (** per-category instruction counts *)
 }
 
 val create : unit -> t
@@ -20,3 +44,6 @@ val output_lines : t -> string list
 (** In print order. *)
 
 val class_count : t -> string -> int
+
+val instr_mix : t -> (string * int) list
+(** Label/count pairs, in category order. *)

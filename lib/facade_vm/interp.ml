@@ -1,10 +1,15 @@
+(* The jir VM, running on the resolved form produced by {!Link}: frames
+   are value arrays indexed by slot, field access goes through per-class
+   integer layouts, calls dispatch through precomputed vtables, and
+   intrinsics were bound to their handlers at link time. No string is
+   hashed on the per-instruction path. *)
+
 open Jir
+module R = Resolved
 module FP = Pagestore.Facade_pool
 module Addr = Pagestore.Addr
 module Store = Pagestore.Store
-module Lrt = Pagestore.Layout_rt
 module Layout = Facade_compiler.Layout
-module Rt = Facade_compiler.Rt_names
 module Heap = Heapsim.Heap
 
 exception Vm_error of string
@@ -30,16 +35,14 @@ type facade_rt = {
   mutable last_pages : int;
 }
 
-type mode =
-  | Object_mode of (string -> bool)  (* is_data_class *)
-  | Facade_mode of facade_rt
+type mode = Object_mode | Facade_mode of facade_rt
 
 type st = {
-  p : Program.t;
+  rp : R.program;
   mode : mode;
   heap : Heap.t option;
   stats : Exec_stats.t;
-  globals : (string, Value.t) Hashtbl.t;  (* "Class.field" *)
+  globals : Value.t array;
   monitors : (int, int) Hashtbl.t;        (* object-mode oid -> entries *)
   mutable oid : int;
   max_steps : int;
@@ -47,51 +50,14 @@ type st = {
   mutable next_thread : int;
 }
 
-(* ---------- small utilities ---------- *)
+(* ---------- heap accounting ---------- *)
 
-let global_key cls field = cls ^ "." ^ field
-
-let rec jtype_of_name name =
-  if String.length name > 2 && String.sub name (String.length name - 2) 2 = "[]" then
-    Jtype.Array (jtype_of_name (String.sub name 0 (String.length name - 2)))
-  else
-    match name with
-    | "boolean" -> Jtype.Prim Jtype.Bool
-    | "byte" -> Jtype.Prim Jtype.Byte
-    | "char" -> Jtype.Prim Jtype.Char
-    | "short" -> Jtype.Prim Jtype.Short
-    | "int" -> Jtype.Prim Jtype.Int
-    | "long" -> Jtype.Prim Jtype.Long
-    | "float" -> Jtype.Prim Jtype.Float
-    | "double" -> Jtype.Prim Jtype.Double
-    | c -> Jtype.Ref c
-
-let java_field_bytes = function
-  | Jtype.Prim (Jtype.Bool | Jtype.Byte) -> 1
-  | Jtype.Prim (Jtype.Char | Jtype.Short) -> 2
-  | Jtype.Prim (Jtype.Int | Jtype.Float) -> 4
-  | Jtype.Prim (Jtype.Long | Jtype.Double) -> 8
-  | Jtype.Ref _ | Jtype.Array _ -> Heapsim.Obj_model.reference_bytes
-
-let java_object_bytes st cls =
-  let field_bytes =
-    List.fold_left
-      (fun acc (_, (f : Ir.field)) -> acc + java_field_bytes f.Ir.ftype)
-      0
-      (Hierarchy.all_instance_fields st.p cls)
-  in
-  Heapsim.Obj_model.object_bytes ~field_bytes
-
-let is_data st cls =
-  match st.mode with Object_mode is_data -> is_data cls | Facade_mode _ -> false
-
-let charge_heap_obj st ~cls ~bytes ~data =
+let charge_heap_obj st ~bytes ~data =
   match st.heap with
   | None -> ()
   | Some h ->
       let lifetime = if data then Heap.Iteration else Heap.Control in
-      Heap.alloc h ~lifetime ~bytes;
-      ignore cls
+      Heap.alloc h ~lifetime ~bytes
 
 (* Page wrappers are control heap objects; native pages count toward the
    process footprint. Sync both after every store operation that can
@@ -106,49 +72,29 @@ let sync_native st =
       rt.last_native <- s.Store.native_bytes;
       let dp = s.Store.pages_created - rt.last_pages in
       for _ = 1 to dp do
-        Heap.alloc h ~lifetime:Heap.Control ~bytes:48
+        Heap.alloc h ~lifetime:Heap.Control ~bytes:Heapsim.Obj_model.page_wrapper_bytes
       done;
       rt.last_pages <- s.Store.pages_created
-  | (Facade_mode _ | Object_mode _), _ -> ()
+  | (Facade_mode _ | Object_mode), _ -> ()
 
 let new_oid st =
   st.oid <- st.oid + 1;
   st.oid
 
-let alloc_obj st cls =
-  let fields = Hashtbl.create 8 in
-  List.iter
-    (fun (_, (f : Ir.field)) -> Hashtbl.replace fields f.Ir.fname (Value.default_of f.Ir.ftype))
-    (Hierarchy.all_instance_fields st.p cls);
-  let data = is_data st cls in
-  Exec_stats.note_alloc st.stats ~cls ~is_data:data;
-  charge_heap_obj st ~cls ~bytes:(java_object_bytes st cls) ~data;
-  Value.Obj { Value.ocls = cls; fields; oid = new_oid st }
+let alloc_obj st cid =
+  let c = st.rp.R.classes.(cid) in
+  Exec_stats.note_alloc st.stats ~cls:c.R.c_name ~is_data:c.R.c_is_data;
+  charge_heap_obj st ~bytes:c.R.c_java_bytes ~data:c.R.c_is_data;
+  Value.Obj
+    { Value.ocls = c.R.c_name; ocid = cid; fields = Array.copy c.R.c_defaults; oid = new_oid st }
 
-let alloc_arr st ety len =
+let alloc_arr st (na : R.newarr) len =
   if len < 0 then vm_err "NegativeArraySizeException";
-  let data =
-    match ety with
-    | Jtype.Ref c -> is_data st c
-    | Jtype.Prim _ | Jtype.Array _ -> false
-  in
-  let cls = Jtype.to_string (Jtype.Array ety) in
-  Exec_stats.note_alloc st.stats ~cls ~is_data:data;
-  charge_heap_obj st ~cls
-    ~bytes:(Heapsim.Obj_model.array_bytes ~elem_bytes:(java_field_bytes ety) ~length:len)
-    ~data;
-  Value.Arr { Value.aty = ety; elems = Array.make len (Value.default_of ety); aid = new_oid st }
-
-(* ---------- frames ---------- *)
-
-type frame = (string, Value.t) Hashtbl.t
-
-let lookup (frame : frame) v =
-  match Hashtbl.find_opt frame v with
-  | Some x -> x
-  | None -> vm_err "unbound variable %s" v
-
-let assign (frame : frame) v x = Hashtbl.replace frame v x
+  Exec_stats.note_alloc st.stats ~cls:na.R.na_cls ~is_data:na.R.na_is_data;
+  charge_heap_obj st
+    ~bytes:(Heapsim.Obj_model.array_bytes ~elem_bytes:na.R.na_elem_bytes ~length:len)
+    ~data:na.R.na_is_data;
+  Value.Arr { Value.aty = na.R.na_ety; elems = Array.make len na.R.na_default; aid = new_oid st }
 
 (* ---------- arithmetic ---------- *)
 
@@ -201,38 +147,97 @@ and cmp_num fi ff a b =
   | Value.Float x, Value.Int y -> Value.Int (if ff x (float_of_int y) then 1 else 0)
   | x, y -> vm_err "bad comparison operands: %s, %s" (Value.to_string x) (Value.to_string y)
 
-(* ---------- type tests ---------- *)
+(* ---------- coercions ---------- *)
 
-let facade_class_of st (f : FP.facade) =
+let as_int = function
+  | Value.Int n -> n
+  | v -> vm_err "expected an int, got %s" (Value.to_string v)
+
+let as_float = function
+  | Value.Float x -> x
+  | Value.Int n -> float_of_int n
+  | v -> vm_err "expected a float, got %s" (Value.to_string v)
+
+let as_facade = function
+  | Value.Facade f -> f
+  | v -> vm_err "expected a facade, got %s" (Value.to_string v)
+
+let the_rt st =
   match st.mode with
-  | Facade_mode rt ->
-      Facade_compiler.Transform.facade_name (Layout.name_of_type_id rt.layout f.FP.ftype)
-  | Object_mode _ -> vm_err "facade value in object mode"
+  | Facade_mode rt -> rt
+  | Object_mode -> vm_err "runtime intrinsic outside facade mode"
 
-let runtime_class st (v : Value.t) =
+(* Facade pools are strictly thread-local (paper 3.4): each logical thread
+   gets its own Pools instance on first use. *)
+let pools_of st rt =
+  match Hashtbl.find_opt rt.pools st.thread with
+  | Some p -> p
+  | None ->
+      let p = FP.create ~bounds:rt.bounds in
+      Hashtbl.replace rt.pools st.thread p;
+      (match st.heap with
+      | Some h ->
+          Heap.alloc_many h ~lifetime:Heap.Permanent ~bytes_each:32
+            ~count:(FP.total_facades p)
+      | None -> ());
+      p
+
+(* ---------- dispatch ---------- *)
+
+(* The linked class of a receiver value; everything the vtable needs. *)
+let dispatch_cid st v mname =
   match v with
-  | Value.Obj o -> o.Value.ocls
-  | Value.Str _ -> Jtype.string_class
-  | Value.Facade f -> facade_class_of st f
+  | Value.Obj o ->
+      if o.Value.ocid >= 0 then o.Value.ocid
+      else (
+        match Hashtbl.find_opt st.rp.R.cid_of_name o.Value.ocls with
+        | Some cid -> cid
+        | None -> vm_err "NoSuchMethodError: %s.%s" o.Value.ocls mname)
+  | Value.Str _ ->
+      if st.rp.R.string_cid >= 0 then st.rp.R.string_cid
+      else vm_err "NoSuchMethodError: %s.%s" Jtype.string_class mname
+  | Value.Facade f ->
+      if Array.length st.rp.R.facade_cid_of_tid = 0 then vm_err "facade value in object mode"
+      else begin
+        let cid = st.rp.R.facade_cid_of_tid.(f.FP.ftype) in
+        if cid >= 0 then cid
+        else vm_err "NoSuchMethodError: facade<%d>.%s" f.FP.ftype mname
+      end
   | Value.Null | Value.Int _ | Value.Float _ | Value.Arr _ ->
       vm_err "no runtime class for %s" (Value.to_string v)
 
-let instance_of st v ty =
-  match v, ty with
-  | Value.Null, _ -> false
-  | Value.Obj o, _ -> Hierarchy.is_assignable st.p ~from_:(Jtype.Ref o.Value.ocls) ~to_:ty
-  | Value.Arr a, _ -> Hierarchy.is_assignable st.p ~from_:(Jtype.Array a.Value.aty) ~to_:ty
-  | Value.Str _, Jtype.Ref c -> String.equal c Jtype.string_class
-  | Value.Facade f, Jtype.Ref c ->
-      Hierarchy.is_assignable st.p ~from_:(Jtype.Ref (facade_class_of st f)) ~to_:(Jtype.Ref c)
-  | (Value.Int _ | Value.Float _ | Value.Str _ | Value.Facade _), _ -> false
+(* ---------- type tests ---------- *)
+
+let instance_of st (t : R.rtest) v =
+  match v with
+  | Value.Null -> false
+  | Value.Obj o ->
+      if o.Value.ocid >= 0 then t.R.t_cid_ok.(o.Value.ocid)
+      else Hierarchy.is_assignable st.rp.R.src ~from_:(Jtype.Ref o.Value.ocls) ~to_:t.R.t_ty
+  | Value.Arr a ->
+      Hierarchy.is_assignable st.rp.R.src ~from_:(Jtype.Array a.Value.aty) ~to_:t.R.t_ty
+  | Value.Str _ -> t.R.t_is_string
+  | Value.Facade f ->
+      if Array.length st.rp.R.facade_cid_of_tid = 0 then vm_err "facade value in object mode"
+      else begin
+        let cid = st.rp.R.facade_cid_of_tid.(f.FP.ftype) in
+        if cid >= 0 then t.R.t_cid_ok.(cid)
+        else
+          let rt = the_rt st in
+          Hierarchy.is_assignable st.rp.R.src
+            ~from_:
+              (Jtype.Ref
+                 (Facade_compiler.Transform.facade_name
+                    (Layout.name_of_type_id rt.layout f.FP.ftype)))
+            ~to_:t.R.t_ty
+      end
+  | Value.Int _ | Value.Float _ -> false
 
 (* ---------- conversion functions (paper §3.5) ----------
 
    The paper synthesizes reflection-based convertFrom/convertTo per type;
-   we implement the same generic routine once, driven by the layout. *)
-
-let elem_width ety = Layout.elem_bytes ety
+   we implement the same generic routine once, driven at run time by the
+   per-class conversion tables the linker paired up with the layout. *)
 
 let rec convert_from st rt (visited : (int, int) Hashtbl.t) (v : Value.t) : int =
   match v with
@@ -242,29 +247,33 @@ let rec convert_from st rt (visited : (int, int) Hashtbl.t) (v : Value.t) : int 
       match Hashtbl.find_opt visited o.Value.oid with
       | Some addr -> addr
       | None ->
-          let cls = o.Value.ocls in
-          let tid =
-            try Layout.type_id rt.layout cls
-            with Not_found -> vm_err "convertFrom: %s is not a data class" cls
+          let cid =
+            if o.Value.ocid >= 0 then o.Value.ocid
+            else
+              Option.value ~default:(-1)
+                (Hashtbl.find_opt st.rp.R.cid_of_name o.Value.ocls)
           in
-          let addr =
-            Store.alloc_record rt.store ~thread:st.thread ~type_id:tid
-              ~data_bytes:(Layout.record_data_bytes rt.layout cls)
-          in
-          Exec_stats.note_record st.stats;
-          let ai = Addr.to_int addr in
-          Hashtbl.replace visited o.Value.oid ai;
-          List.iter
-            (fun (slot : Layout.field_slot) ->
-              let fv =
-                match Hashtbl.find_opt o.Value.fields slot.Layout.name with
-                | Some x -> x
-                | None -> Value.default_of slot.Layout.jty
+          let c = if cid >= 0 then Some st.rp.R.classes.(cid) else None in
+          (match c with
+          | Some c when c.R.c_tid >= 0 ->
+              let addr =
+                Store.alloc_record rt.store ~thread:st.thread ~type_id:c.R.c_tid
+                  ~data_bytes:c.R.c_data_bytes
               in
-              write_slot st rt visited addr ~offset:slot.Layout.offset ~jty:slot.Layout.jty fv)
-            (Layout.fields rt.layout cls);
-          sync_native st;
-          ai)
+              Exec_stats.note_record st.stats;
+              let ai = Addr.to_int addr in
+              Hashtbl.replace visited o.Value.oid ai;
+              Array.iter
+                (fun ((fs : Layout.field_slot), oslot) ->
+                  let fv =
+                    if oslot >= 0 then o.Value.fields.(oslot)
+                    else Value.default_of fs.Layout.jty
+                  in
+                  write_slot st rt visited addr ~offset:fs.Layout.offset ~jty:fs.Layout.jty fv)
+                c.R.c_conv;
+              sync_native st;
+              ai
+          | Some _ | None -> vm_err "convertFrom: %s is not a data class" o.Value.ocls))
   | Value.Arr a -> (
       match Hashtbl.find_opt visited a.Value.aid with
       | Some addr -> addr
@@ -272,19 +281,21 @@ let rec convert_from st rt (visited : (int, int) Hashtbl.t) (v : Value.t) : int 
           let ety = a.Value.aty in
           let tid =
             try Layout.type_id_of_jtype rt.layout (Jtype.Array ety)
-            with Not_found -> vm_err "convertFrom: no type id for array of %s" (Jtype.to_string ety)
+            with Not_found ->
+              vm_err "convertFrom: no type id for array of %s" (Jtype.to_string ety)
           in
+          let eb = Layout.elem_bytes ety in
           let len = Array.length a.Value.elems in
           let addr =
-            Store.alloc_array rt.store ~thread:st.thread ~type_id:tid
-              ~elem_bytes:(elem_width ety) ~length:len
+            Store.alloc_array rt.store ~thread:st.thread ~type_id:tid ~elem_bytes:eb
+              ~length:len
           in
           Exec_stats.note_record st.stats;
           let ai = Addr.to_int addr in
           Hashtbl.replace visited a.Value.aid ai;
           Array.iteri
             (fun i x ->
-              let offset = Store.array_elem_offset ~elem_bytes:(elem_width ety) ~index:i in
+              let offset = Store.array_elem_offset ~elem_bytes:eb ~index:i in
               write_slot st rt visited addr ~offset ~jty:ety x)
             a.Value.elems;
           sync_native st;
@@ -296,10 +307,10 @@ and write_slot st rt visited addr ~offset ~jty v =
   match jty, v with
   | Jtype.Prim (Jtype.Bool | Jtype.Byte), Value.Int n -> Store.set_i8 rt.store addr ~offset n
   | Jtype.Prim (Jtype.Char | Jtype.Short), Value.Int n -> Store.set_i16 rt.store addr ~offset n
-  | Jtype.Prim (Jtype.Int), Value.Int n -> Store.set_i32 rt.store addr ~offset n
-  | Jtype.Prim (Jtype.Long), Value.Int n -> Store.set_i64 rt.store addr ~offset n
-  | Jtype.Prim (Jtype.Float), Value.Float x -> Store.set_f32 rt.store addr ~offset x
-  | Jtype.Prim (Jtype.Double), Value.Float x -> Store.set_f64 rt.store addr ~offset x
+  | Jtype.Prim Jtype.Int, Value.Int n -> Store.set_i32 rt.store addr ~offset n
+  | Jtype.Prim Jtype.Long, Value.Int n -> Store.set_i64 rt.store addr ~offset n
+  | Jtype.Prim Jtype.Float, Value.Float x -> Store.set_f32 rt.store addr ~offset x
+  | Jtype.Prim Jtype.Double, Value.Float x -> Store.set_f64 rt.store addr ~offset x
   | (Jtype.Ref _ | Jtype.Array _), _ ->
       Store.set_i64 rt.store addr ~offset (convert_from st rt visited v)
   | Jtype.Prim _, _ ->
@@ -329,31 +340,46 @@ let rec convert_to st rt (visited : (int, Value.t) Hashtbl.t) (ai : int) : Value
         | None ->
             let addr = Addr.of_int ai in
             let tid = Store.type_id rt.store addr in
-            let name = Layout.name_of_type_id rt.layout tid in
-            if Layout.is_array_type_id rt.layout tid then begin
-              let ety = Jtype.element (jtype_of_name name) in
+            if tid >= 0 && tid < st.rp.R.n_tids && st.rp.R.tid_is_array.(tid) then begin
+              let ety = Option.get st.rp.R.elem_ty_of_tid.(tid) in
+              let eb = st.rp.R.elem_bytes_of_tid.(tid) in
               let len = Store.array_length rt.store addr in
               let arr =
                 { Value.aty = ety; elems = Array.make len (Value.default_of ety); aid = new_oid st }
               in
-              Exec_stats.note_alloc st.stats ~cls:name ~is_data:false;
+              Exec_stats.note_alloc st.stats
+                ~cls:(Layout.name_of_type_id rt.layout tid)
+                ~is_data:false;
               Hashtbl.replace visited ai (Value.Arr arr);
               for i = 0 to len - 1 do
-                let offset = Store.array_elem_offset ~elem_bytes:(elem_width ety) ~index:i in
+                let offset = Store.array_elem_offset ~elem_bytes:eb ~index:i in
                 arr.Value.elems.(i) <- read_slot st rt visited addr ~offset ~jty:ety
               done;
               Value.Arr arr
             end
             else begin
-              let fields = Hashtbl.create 8 in
-              let o = { Value.ocls = name; fields; oid = new_oid st } in
-              Exec_stats.note_alloc st.stats ~cls:name ~is_data:false;
+              let cid =
+                if tid >= 0 && tid < st.rp.R.n_tids then st.rp.R.data_cid_of_tid.(tid) else -1
+              in
+              if cid < 0 then
+                vm_err "convertTo: unknown record type %d" tid;
+              let c = st.rp.R.classes.(cid) in
+              let o =
+                {
+                  Value.ocls = c.R.c_name;
+                  ocid = cid;
+                  fields = Array.copy c.R.c_defaults;
+                  oid = new_oid st;
+                }
+              in
+              Exec_stats.note_alloc st.stats ~cls:c.R.c_name ~is_data:false;
               Hashtbl.replace visited ai (Value.Obj o);
-              List.iter
-                (fun (slot : Layout.field_slot) ->
-                  Hashtbl.replace fields slot.Layout.name
-                    (read_slot st rt visited addr ~offset:slot.Layout.offset ~jty:slot.Layout.jty))
-                (Layout.fields rt.layout name);
+              Array.iter
+                (fun ((fs : Layout.field_slot), oslot) ->
+                  if oslot >= 0 then
+                    o.Value.fields.(oslot) <-
+                      read_slot st rt visited addr ~offset:fs.Layout.offset ~jty:fs.Layout.jty)
+                c.R.c_conv;
               Value.Obj o
             end)
 
@@ -368,62 +394,7 @@ and read_slot st rt visited addr ~offset ~jty =
   | Jtype.Ref _ | Jtype.Array _ ->
       convert_to st rt visited (Store.get_i64 rt.store addr ~offset)
 
-(* ---------- intrinsics ---------- *)
-
-let as_int = function
-  | Value.Int n -> n
-  | v -> vm_err "expected an int, got %s" (Value.to_string v)
-
-let as_float = function
-  | Value.Float x -> x
-  | Value.Int n -> float_of_int n
-  | v -> vm_err "expected a float, got %s" (Value.to_string v)
-
-let as_facade = function
-  | Value.Facade f -> f
-  | v -> vm_err "expected a facade, got %s" (Value.to_string v)
-
-let the_rt st =
-  match st.mode with
-  | Facade_mode rt -> rt
-  | Object_mode _ -> vm_err "runtime intrinsic outside facade mode"
-
-(* Facade pools are strictly thread-local (paper 3.4): each logical thread
-   gets its own Pools instance on first use. *)
-let pools_of st rt =
-  match Hashtbl.find_opt rt.pools st.thread with
-  | Some p -> p
-  | None ->
-      let p = FP.create ~bounds:rt.bounds in
-      Hashtbl.replace rt.pools st.thread p;
-      (match st.heap with
-      | Some h ->
-          Heap.alloc_many h ~lifetime:Heap.Permanent ~bytes_each:32
-            ~count:(FP.total_facades p)
-      | None -> ());
-      p
-
-let suffix_of name prefix = String.sub name (String.length prefix) (String.length name - String.length prefix)
-
-let store_get rt kind addr ~offset =
-  match kind with
-  | "i8" -> Value.Int (Store.get_i8 rt.store addr ~offset)
-  | "i16" -> Value.Int (Store.get_i16 rt.store addr ~offset)
-  | "i32" -> Value.Int (Store.get_i32 rt.store addr ~offset)
-  | "i64" | "ref" -> Value.Int (Store.get_i64 rt.store addr ~offset)
-  | "f32" -> Value.Float (Store.get_f32 rt.store addr ~offset)
-  | "f64" -> Value.Float (Store.get_f64 rt.store addr ~offset)
-  | k -> vm_err "unknown access kind %s" k
-
-let store_set rt kind addr ~offset v =
-  match kind with
-  | "i8" -> Store.set_i8 rt.store addr ~offset (as_int v)
-  | "i16" -> Store.set_i16 rt.store addr ~offset (as_int v)
-  | "i32" -> Store.set_i32 rt.store addr ~offset (as_int v)
-  | "i64" | "ref" -> Store.set_i64 rt.store addr ~offset (as_int v)
-  | "f32" -> Store.set_f32 rt.store addr ~offset (as_float v)
-  | "f64" -> Store.set_f64 rt.store addr ~offset (as_float v)
-  | k -> vm_err "unknown access kind %s" k
+(* ---------- intrinsic handlers ---------- *)
 
 let addr_of v = Addr.of_int (as_int v)
 
@@ -431,279 +402,148 @@ let check_nonnull v =
   if as_int v = 0 then vm_err "NullPointerException: null page reference";
   v
 
-let elem_width_of_tid rt tid =
-  let name = Layout.name_of_type_id rt.layout tid in
-  match jtype_of_name name with
-  | Jtype.Array e -> elem_width e
-  | Jtype.Prim _ | Jtype.Ref _ -> vm_err "not an array type: %s" name
+let store_get rt (a : R.acc) addr ~offset =
+  match a with
+  | R.A_i8 -> Value.Int (Store.get_i8 rt.store addr ~offset)
+  | R.A_i16 -> Value.Int (Store.get_i16 rt.store addr ~offset)
+  | R.A_i32 -> Value.Int (Store.get_i32 rt.store addr ~offset)
+  | R.A_i64 -> Value.Int (Store.get_i64 rt.store addr ~offset)
+  | R.A_f32 -> Value.Float (Store.get_f32 rt.store addr ~offset)
+  | R.A_f64 -> Value.Float (Store.get_f64 rt.store addr ~offset)
 
-let exec_intrinsic st frame ret name (argv : Value.t list) =
-  let set v = match ret with Some r -> assign frame r v | None -> () in
-  match name, argv with
-  | n, [ tid; bytes ] when String.equal n Rt.alloc ->
-      let rt = the_rt st in
-      let addr =
-        Store.alloc_record rt.store ~thread:st.thread ~type_id:(as_int tid)
-          ~data_bytes:(as_int bytes)
-      in
-      Exec_stats.note_record st.stats;
-      sync_native st;
-      set (Value.Int (Addr.to_int addr))
-  | n, [ tid; eb; len ] when String.equal n Rt.alloc_array || String.equal n Rt.alloc_array_oversize ->
-      let rt = the_rt st in
-      let alloc =
-        if String.equal n Rt.alloc_array then Store.alloc_array else Store.alloc_array_oversize
-      in
-      let addr =
-        alloc rt.store ~thread:st.thread ~type_id:(as_int tid) ~elem_bytes:(as_int eb)
-          ~length:(as_int len)
-      in
-      Exec_stats.note_record st.stats;
-      sync_native st;
-      set (Value.Int (Addr.to_int addr))
-  | n, [ r ] when String.equal n Rt.free_oversize ->
-      let rt = the_rt st in
-      Store.free_oversize_early rt.store ~thread:st.thread (addr_of (check_nonnull r));
-      sync_native st
-  | n, [ r ] when String.equal n Rt.array_length ->
-      let rt = the_rt st in
-      set (Value.Int (Store.array_length rt.store (addr_of (check_nonnull r))))
-  | n, [ r ] when String.equal n Rt.type_id ->
-      let rt = the_rt st in
-      set (Value.Int (Store.type_id rt.store (addr_of (check_nonnull r))))
-  | n, [ r; tid ] when String.equal n Rt.is_type ->
-      let rt = the_rt st in
-      let ok = as_int r <> 0 && Store.type_id rt.store (addr_of r) = as_int tid in
-      set (Value.Int (if ok then 1 else 0))
-  | n, [ r; tid ] when String.equal n Rt.checkcast ->
-      if as_int r = 0 then set (Value.Int 0)
-      else begin
-        let rt = the_rt st in
-        let actual = Store.type_id rt.store (addr_of r) in
-        let target = as_int tid in
-        let ok =
-          actual = target
-          || (not (Layout.is_array_type_id rt.layout actual))
-             && (not (Layout.is_array_type_id rt.layout target))
-             && Hierarchy.is_subclass st.p
-                  ~sub:(Layout.name_of_type_id rt.layout actual)
-                  ~super:(Layout.name_of_type_id rt.layout target)
-        in
-        if not ok then
-          vm_err "ClassCastException: record of type %s is not a %s"
-            (Layout.name_of_type_id rt.layout actual)
-            (Layout.name_of_type_id rt.layout target);
-        set r
-      end
-  | n, [ Value.Str s ] when String.equal n Rt.string_literal ->
-      let rt = the_rt st in
-      set (Value.Int (intern_string st rt s))
-  | n, [ tid; idx ] when String.equal n Rt.pool_param ->
-      let rt = the_rt st in
-      Exec_stats.note_pool_use st.stats ~type_id:(as_int tid) ~index:(as_int idx);
-      set (Value.Facade (FP.param (pools_of st rt) ~type_id:(as_int tid) ~index:(as_int idx)))
-  | n, [ tid ] when String.equal n Rt.pool_receiver ->
-      let rt = the_rt st in
-      set (Value.Facade (FP.receiver (pools_of st rt) ~type_id:(as_int tid)))
-  | n, [ r ] when String.equal n Rt.pool_resolve ->
-      let rt = the_rt st in
-      let tid = Store.type_id rt.store (addr_of (check_nonnull r)) in
-      let f = FP.receiver (pools_of st rt) ~type_id:tid in
-      FP.bind f (addr_of r);
-      set (Value.Facade f)
-  | n, [ f; r ] when String.equal n Rt.facade_bind ->
-      FP.bind (as_facade f) (Addr.of_int (as_int r))
-  | n, [ f ] when String.equal n Rt.facade_read ->
-      set (Value.Int (Addr.to_int (FP.read (as_facade f))))
-  | n, [ r ] when String.equal n Rt.lock_enter ->
-      let rt = the_rt st in
-      Pagestore.Lock_pool.monitor_enter rt.locks rt.store (addr_of (check_nonnull r))
-        ~thread:st.thread
-  | n, [ r ] when String.equal n Rt.lock_exit ->
-      let rt = the_rt st in
-      Pagestore.Lock_pool.monitor_exit rt.locks rt.store (addr_of (check_nonnull r))
-        ~thread:st.thread
-  | n, [ Value.Str _ty; v ] when String.equal n Rt.convert_from ->
-      let rt = the_rt st in
-      set (Value.Int (convert_from st rt (Hashtbl.create 8) v))
-  | n, [ Value.Str _ty; r ] when String.equal n Rt.convert_to ->
-      let rt = the_rt st in
-      set (convert_to st rt (Hashtbl.create 8) (as_int r))
-  | n, [ v ] when String.equal n Rt.print ->
-      st.stats.Exec_stats.output <- Value.to_string v :: st.stats.Exec_stats.output
-  | n, [] when String.equal n Rt.current_thread -> set (Value.Int st.thread)
-  | n, [ src; sp; dst; dp; len ] when String.equal n Rt.arraycopy -> (
-      match src, dst with
-      | Value.Arr a, Value.Arr b ->
-          Array.blit a.Value.elems (as_int sp) b.Value.elems (as_int dp) (as_int len)
-      | Value.Int _, Value.Int _ ->
-          let rt = the_rt st in
-          let sa = addr_of (check_nonnull src) in
-          let da = addr_of (check_nonnull dst) in
-          let eb = elem_width_of_tid rt (Store.type_id rt.store sa) in
-          Store.arraycopy rt.store ~src:sa ~src_pos:(as_int sp) ~dst:da ~dst_pos:(as_int dp)
-            ~len:(as_int len) ~elem_bytes:eb
-      | _, _ -> vm_err "arraycopy: mixed or bad array values")
-  | n, args when String.length n > 7 && String.sub n 0 7 = "rt.get_" && List.length args = 2 ->
-      let rt = the_rt st in
-      let kind = suffix_of n "rt.get_" in
-      (match args with
-      | [ r; off ] ->
-          set (store_get rt kind (addr_of (check_nonnull r)) ~offset:(as_int off))
-      | _ -> assert false)
-  | n, [ r; off; v ] when String.length n > 7 && String.sub n 0 7 = "rt.set_" ->
-      let rt = the_rt st in
-      store_set rt (suffix_of n "rt.set_") (addr_of (check_nonnull r)) ~offset:(as_int off) v
-  | n, [ r; eb; idx ] when String.length n > 8 && String.sub n 0 8 = "rt.aget_" ->
-      let rt = the_rt st in
-      let addr = addr_of (check_nonnull r) in
-      let i = as_int idx in
-      if i < 0 || i >= Store.array_length rt.store addr then
-        vm_err "ArrayIndexOutOfBoundsException: %d" i;
-      let offset = Store.array_elem_offset ~elem_bytes:(as_int eb) ~index:i in
-      set (store_get rt (suffix_of n "rt.aget_") addr ~offset)
-  | n, [ r; eb; idx; v ] when String.length n > 8 && String.sub n 0 8 = "rt.aset_" ->
-      let rt = the_rt st in
-      let addr = addr_of (check_nonnull r) in
-      let i = as_int idx in
-      if i < 0 || i >= Store.array_length rt.store addr then
-        vm_err "ArrayIndexOutOfBoundsException: %d" i;
-      let offset = Store.array_elem_offset ~elem_bytes:(as_int eb) ~index:i in
-      store_set rt (suffix_of n "rt.aset_") addr ~offset v
-  | n, _ -> vm_err "unknown intrinsic %s/%d" n (List.length argv)
+let store_set rt (a : R.acc) addr ~offset v =
+  match a with
+  | R.A_i8 -> Store.set_i8 rt.store addr ~offset (as_int v)
+  | R.A_i16 -> Store.set_i16 rt.store addr ~offset (as_int v)
+  | R.A_i32 -> Store.set_i32 rt.store addr ~offset (as_int v)
+  | R.A_i64 -> Store.set_i64 rt.store addr ~offset (as_int v)
+  | R.A_f32 -> Store.set_f32 rt.store addr ~offset (as_float v)
+  | R.A_f64 -> Store.set_f64 rt.store addr ~offset (as_float v)
+
+let elem_width_of_tid st rt tid =
+  if tid >= 0 && tid < st.rp.R.n_tids && st.rp.R.tid_is_array.(tid) then
+    st.rp.R.elem_bytes_of_tid.(tid)
+  else vm_err "not an array type: %s" (Layout.name_of_type_id rt.layout tid)
 
 (* ---------- the interpreter loop ---------- *)
 
-let operand frame = function
-  | Ir.Var v -> lookup frame v
-  | Ir.Imm c -> Value.of_const c
-
-let rec exec_call st ~kind ~cls ~mname ~recv ~argv =
-  let target_cls =
-    match kind with
-    | Ir.Static | Ir.Special -> cls
-    | Ir.Virtual -> (
-        match recv with
-        | Some r -> runtime_class st r
-        | None -> vm_err "virtual call %s.%s without a receiver" cls mname)
+let rec run_body st (m : R.meth) (frame : Value.t array) : Value.t option =
+  let body = m.R.m_body in
+  let rec go bi =
+    let b = body.(bi) in
+    let code = b.R.code in
+    for i = 0 to Array.length code - 1 do
+      exec st frame code.(i)
+    done;
+    match b.R.term with
+    | R.Rret_void -> None
+    | R.Rret s -> Some frame.(s)
+    | R.Rjump t -> go t
+    | R.Rbranch (s, t, e) -> go (if Value.truthy frame.(s) then t else e)
   in
-  let m =
-    match Hierarchy.resolve_method st.p ~cls:target_cls ~name:mname with
-    | Some m -> m
-    | None -> vm_err "NoSuchMethodError: %s.%s" target_cls mname
-  in
-  if Array.length m.Ir.body = 0 then vm_err "AbstractMethodError: %s.%s" target_cls mname;
-  let frame : frame = Hashtbl.create 16 in
-  (match recv with Some r -> assign frame "this" r | None -> ());
-  (try List.iter2 (fun (v, _) a -> assign frame v a) m.Ir.params argv
-   with Invalid_argument _ ->
-     vm_err "arity mismatch calling %s.%s (%d args)" target_cls mname (List.length argv));
-  List.iter (fun (v, ty) -> assign frame v (Value.default_of ty)) m.Ir.locals;
-  exec_body st m frame
+  go 0
 
-and exec_body st (m : Ir.meth) frame =
-  let rec exec_block bi =
-    let blk = m.Ir.body.(bi) in
-    List.iter (exec_instr st frame) blk.Ir.instrs;
-    match blk.Ir.term with
-    | Ir.Ret None -> None
-    | Ir.Ret (Some v) -> Some (lookup frame v)
-    | Ir.Jump b -> exec_block b
-    | Ir.Branch (v, t, e) -> exec_block (if Value.truthy (lookup frame v) then t else e)
-  in
-  exec_block 0
-
-and exec_instr st frame ins =
-  st.stats.Exec_stats.steps <- st.stats.Exec_stats.steps + 1;
-  if st.stats.Exec_stats.steps > st.max_steps then vm_err "step budget exceeded";
+and exec st (frame : Value.t array) ins =
+  let stats = st.stats in
+  stats.Exec_stats.steps <- stats.Exec_stats.steps + 1;
+  if stats.Exec_stats.steps > st.max_steps then vm_err "step budget exceeded";
+  stats.Exec_stats.mix.(R.category ins) <- stats.Exec_stats.mix.(R.category ins) + 1;
   match ins with
-  | Ir.Const (v, c) -> assign frame v (Value.of_const c)
-  | Ir.Move (a, b) -> assign frame a (lookup frame b)
-  | Ir.Binop (v, op, x, y) -> assign frame v (arith op (lookup frame x) (lookup frame y))
-  | Ir.Unop (v, Ir.Neg, x) -> (
-      match lookup frame x with
-      | Value.Int n -> assign frame v (Value.Int (-n))
-      | Value.Float f -> assign frame v (Value.Float (-.f))
+  | R.Rconst (d, v) -> frame.(d) <- v
+  | R.Rmove (d, s) -> frame.(d) <- frame.(s)
+  | R.Rbinop (d, op, x, y) -> frame.(d) <- arith op frame.(x) frame.(y)
+  | R.Rneg (d, s) -> (
+      match frame.(s) with
+      | Value.Int n -> frame.(d) <- Value.Int (-n)
+      | Value.Float f -> frame.(d) <- Value.Float (-.f)
       | w -> vm_err "neg of %s" (Value.to_string w))
-  | Ir.Unop (v, Ir.Not, x) ->
-      assign frame v (Value.Int (if Value.truthy (lookup frame x) then 0 else 1))
-  | Ir.New (v, cls) -> assign frame v (alloc_obj st cls)
-  | Ir.New_array (v, ety, n) -> assign frame v (alloc_arr st ety (as_int (lookup frame n)))
-  | Ir.Field_load (b, a, f) -> (
-      match lookup frame a with
-      | Value.Obj o -> (
-          match Hashtbl.find_opt o.Value.fields f with
-          | Some x -> assign frame b x
-          | None -> vm_err "NoSuchFieldError: %s.%s" o.Value.ocls f)
-      | Value.Null -> vm_err "NullPointerException: %s.%s" a f
+  | R.Rnot (d, s) -> frame.(d) <- Value.Int (if Value.truthy frame.(s) then 0 else 1)
+  | R.Rnew (d, cid) -> frame.(d) <- alloc_obj st cid
+  | R.Rnew_array (d, na, len) -> frame.(d) <- alloc_arr st na (as_int frame.(len))
+  | R.Rfield_load (d, o, fid) -> (
+      match frame.(o) with
+      | Value.Obj ob ->
+          let slot = field_slot st ob fid in
+          frame.(d) <- ob.Value.fields.(slot)
+      | Value.Null -> vm_err "NullPointerException: .%s" st.rp.R.field_names.(fid)
       | w -> vm_err "field load from %s" (Value.to_string w))
-  | Ir.Field_store (a, f, b) -> (
-      match lookup frame a with
-      | Value.Obj o ->
-          if not (Hashtbl.mem o.Value.fields f) then
-            vm_err "NoSuchFieldError: %s.%s" o.Value.ocls f;
-          Hashtbl.replace o.Value.fields f (lookup frame b)
-      | Value.Null -> vm_err "NullPointerException: %s.%s" a f
+  | R.Rfield_store (o, fid, s) -> (
+      match frame.(o) with
+      | Value.Obj ob ->
+          let slot = field_slot st ob fid in
+          ob.Value.fields.(slot) <- frame.(s)
+      | Value.Null -> vm_err "NullPointerException: .%s" st.rp.R.field_names.(fid)
       | w -> vm_err "field store to %s" (Value.to_string w))
-  | Ir.Static_load (b, c, f) -> (
-      match Hashtbl.find_opt st.globals (global_key c f) with
-      | Some x -> assign frame b x
-      | None -> vm_err "NoSuchFieldError: static %s.%s" c f)
-  | Ir.Static_store (c, f, b) ->
-      if not (Hashtbl.mem st.globals (global_key c f)) then
-        vm_err "NoSuchFieldError: static %s.%s" c f;
-      Hashtbl.replace st.globals (global_key c f) (lookup frame b)
-  | Ir.Array_load (b, a, i) -> (
-      match lookup frame a with
+  | R.Rstatic_load (d, g) -> frame.(d) <- st.globals.(g)
+  | R.Rstatic_store (g, s) -> st.globals.(g) <- frame.(s)
+  | R.Rarray_load (d, a, i) -> (
+      match frame.(a) with
       | Value.Arr arr ->
-          let idx = as_int (lookup frame i) in
+          let idx = as_int frame.(i) in
           if idx < 0 || idx >= Array.length arr.Value.elems then
             vm_err "ArrayIndexOutOfBoundsException: %d" idx;
-          assign frame b arr.Value.elems.(idx)
-      | Value.Null -> vm_err "NullPointerException: %s[...]" a
+          frame.(d) <- arr.Value.elems.(idx)
+      | Value.Null -> vm_err "NullPointerException: array load"
       | w -> vm_err "array load from %s" (Value.to_string w))
-  | Ir.Array_store (a, i, b) -> (
-      match lookup frame a with
+  | R.Rarray_store (a, i, s) -> (
+      match frame.(a) with
       | Value.Arr arr ->
-          let idx = as_int (lookup frame i) in
+          let idx = as_int frame.(i) in
           if idx < 0 || idx >= Array.length arr.Value.elems then
             vm_err "ArrayIndexOutOfBoundsException: %d" idx;
-          arr.Value.elems.(idx) <- lookup frame b
-      | Value.Null -> vm_err "NullPointerException: %s[...]" a
+          arr.Value.elems.(idx) <- frame.(s)
+      | Value.Null -> vm_err "NullPointerException: array store"
       | w -> vm_err "array store to %s" (Value.to_string w))
-  | Ir.Array_length (b, a) -> (
-      match lookup frame a with
-      | Value.Arr arr -> assign frame b (Value.Int (Array.length arr.Value.elems))
-      | Value.Null -> vm_err "NullPointerException: %s.length" a
+  | R.Rarray_length (d, a) -> (
+      match frame.(a) with
+      | Value.Arr arr -> frame.(d) <- Value.Int (Array.length arr.Value.elems)
+      | Value.Null -> vm_err "NullPointerException: array length"
       | w -> vm_err "length of %s" (Value.to_string w))
-  | Ir.Call (ret, kind, cls, mname, recv, args) -> (
-      let recv_v = Option.map (lookup frame) recv in
-      let argv = List.map (lookup frame) args in
-      match exec_call st ~kind ~cls ~mname ~recv:recv_v ~argv with
-      | Some v -> ( match ret with Some r -> assign frame r v | None -> ())
-      | None -> (
-          match ret with
-          | Some r -> assign frame r Value.Null
-          | None -> ()))
-  | Ir.Instance_of (t, a, ty) ->
-      assign frame t (Value.Int (if instance_of st (lookup frame a) ty then 1 else 0))
-  | Ir.Cast (a, b, ty) ->
-      let v = lookup frame b in
+  | R.Rcall (ret, midx, recv, args) ->
+      st.stats.Exec_stats.static_dispatches <- st.stats.Exec_stats.static_dispatches + 1;
+      let m = st.rp.R.methods.(midx) in
+      let f = Array.copy m.R.m_frame in
+      (match recv with Some s -> f.(0) <- frame.(s) | None -> ());
+      Array.iteri (fun i s -> f.(i + 1) <- frame.(s)) args;
+      store_ret frame ret (run_body st m f)
+  | R.Rcall_virtual (ret, mid, r, args) ->
+      st.stats.Exec_stats.virtual_dispatches <- st.stats.Exec_stats.virtual_dispatches + 1;
+      let recv = frame.(r) in
+      let cid = dispatch_cid st recv st.rp.R.method_names.(mid) in
+      let c = st.rp.R.classes.(cid) in
+      let midx = c.R.c_vtable.(mid) in
+      if midx < 0 then
+        vm_err "NoSuchMethodError: %s.%s" c.R.c_name st.rp.R.method_names.(mid);
+      let m = st.rp.R.methods.(midx) in
+      if Array.length m.R.m_body = 0 then
+        vm_err "AbstractMethodError: %s.%s" c.R.c_name m.R.m_name;
+      if Array.length args <> m.R.m_nparams then
+        vm_err "arity mismatch calling %s.%s (%d args)" c.R.c_name m.R.m_name
+          (Array.length args);
+      let f = Array.copy m.R.m_frame in
+      f.(0) <- recv;
+      Array.iteri (fun i s -> f.(i + 1) <- frame.(s)) args;
+      store_ret frame ret (run_body st m f)
+  | R.Rinstance_of (d, s, t) ->
+      frame.(d) <- Value.Int (if instance_of st t frame.(s) then 1 else 0)
+  | R.Rcast (d, s, t) ->
+      let v = frame.(s) in
       (match v with
       | Value.Null -> ()
       | _ ->
-          if not (instance_of st v ty) then
-            vm_err "ClassCastException: %s to %s" (Value.to_string v) (Jtype.to_string ty));
-      assign frame a v
-  | Ir.Monitor_enter v -> (
-      match lookup frame v with
+          if not (instance_of st t v) then
+            vm_err "ClassCastException: %s to %s" (Value.to_string v)
+              (Jtype.to_string t.R.t_ty));
+      frame.(d) <- v
+  | R.Rmonitor_enter s -> (
+      match frame.(s) with
       | Value.Obj o ->
           let n = Option.value ~default:0 (Hashtbl.find_opt st.monitors o.Value.oid) in
           Hashtbl.replace st.monitors o.Value.oid (n + 1)
       | Value.Null -> vm_err "NullPointerException: monitorenter"
       | w -> vm_err "monitorenter on %s" (Value.to_string w))
-  | Ir.Monitor_exit v -> (
-      match lookup frame v with
+  | R.Rmonitor_exit s -> (
+      match frame.(s) with
       | Value.Obj o -> (
           match Hashtbl.find_opt st.monitors o.Value.oid with
           | Some n when n > 0 ->
@@ -712,70 +552,225 @@ and exec_instr st frame ins =
           | Some _ | None -> vm_err "IllegalMonitorStateException")
       | Value.Null -> vm_err "NullPointerException: monitorexit"
       | w -> vm_err "monitorexit on %s" (Value.to_string w))
-  | Ir.Iter_start -> (
+  | R.Riter_start -> (
       (match st.heap with Some h -> Heap.iteration_start h | None -> ());
       match st.mode with
       | Facade_mode rt -> Store.iteration_start rt.store ~thread:st.thread
-      | Object_mode _ -> ())
-  | Ir.Iter_end -> (
+      | Object_mode -> ())
+  | R.Riter_end -> (
       (match st.heap with Some h -> Heap.iteration_end h | None -> ());
       match st.mode with
       | Facade_mode rt ->
           Store.iteration_end rt.store ~thread:st.thread;
           sync_native st
-      | Object_mode _ -> ())
-  | Ir.Intrinsic (ret, name, ops) when String.equal name Rt.run_thread -> (
-      ignore ret;
-      match List.map (operand frame) ops with
-      | [ v ] ->
-          (* A fresh logical thread: own page manager (child of the
-             spawning thread's current iteration, 3.6) and own facade
-             pools; runs obj.run() to completion. *)
-          let tid = st.next_thread in
-          st.next_thread <- tid + 1;
-          let parent = st.thread in
-          (match st.mode with
-          | Facade_mode rt -> Store.register_thread ~parent rt.store tid
-          | Object_mode _ -> ());
-          st.thread <- tid;
-          let recv =
-            match st.mode, v with
-            | Facade_mode rt, Value.Int r when r <> 0 ->
-                let rtid = Store.type_id rt.store (Addr.of_int r) in
-                let f = FP.receiver (pools_of st rt) ~type_id:rtid in
-                FP.bind f (Addr.of_int r);
-                Value.Facade f
-            | (Facade_mode _ | Object_mode _), v -> v
-          in
-          let cls = runtime_class st recv in
-          ignore (exec_call st ~kind:Ir.Virtual ~cls ~mname:"run" ~recv:(Some recv) ~argv:[]);
-          (* The thread terminates: its default page manager is released
-             (the paper's per-thread reclamation). *)
-          (match st.mode with
-          | Facade_mode rt -> Store.release_thread rt.store tid
-          | Object_mode _ -> ());
-          st.thread <- parent
-      | _ -> vm_err "sys.run_thread expects one receiver")
-  | Ir.Intrinsic (ret, name, ops) ->
-      let argv = List.map (operand frame) ops in
-      exec_intrinsic st frame ret name argv
+      | Object_mode -> ())
+  | R.Rrun_thread op ->
+      st.stats.Exec_stats.intrinsic_dispatches <- st.stats.Exec_stats.intrinsic_dispatches + 1;
+      run_thread st (operand frame op)
+  | R.Rintrinsic (ret, i, ops) ->
+      st.stats.Exec_stats.intrinsic_dispatches <- st.stats.Exec_stats.intrinsic_dispatches + 1;
+      exec_intrinsic st frame ret i ops
+  | R.Rerror msg -> raise (Vm_error msg)
+
+and store_ret frame ret res =
+  match ret with
+  | None -> ()
+  | Some r -> frame.(r) <- (match res with Some v -> v | None -> Value.Null)
+
+and operand frame = function R.Oslot s -> frame.(s) | R.Oconst c -> c
+
+and field_slot st (o : Value.obj) fid =
+  let slot =
+    if o.Value.ocid >= 0 then st.rp.R.classes.(o.Value.ocid).R.c_slot_of_fid.(fid) else -1
+  in
+  if slot < 0 then
+    vm_err "NoSuchFieldError: %s.%s" o.Value.ocls st.rp.R.field_names.(fid)
+  else slot
+
+and run_thread st v =
+  (* A fresh logical thread: own page manager (child of the spawning
+     thread's current iteration, 3.6) and own facade pools; runs
+     obj.run() to completion. *)
+  let tid = st.next_thread in
+  st.next_thread <- tid + 1;
+  let parent = st.thread in
+  (match st.mode with
+  | Facade_mode rt -> Store.register_thread ~parent rt.store tid
+  | Object_mode -> ());
+  st.thread <- tid;
+  let recv =
+    match st.mode, v with
+    | Facade_mode rt, Value.Int r when r <> 0 ->
+        let rtid = Store.type_id rt.store (Addr.of_int r) in
+        let f = FP.receiver (pools_of st rt) ~type_id:rtid in
+        FP.bind f (Addr.of_int r);
+        Value.Facade f
+    | (Facade_mode _ | Object_mode), v -> v
+  in
+  let cid = dispatch_cid st recv "run" in
+  let c = st.rp.R.classes.(cid) in
+  let midx = if st.rp.R.run_mid >= 0 then c.R.c_vtable.(st.rp.R.run_mid) else -1 in
+  if midx < 0 then vm_err "NoSuchMethodError: %s.run" c.R.c_name;
+  let m = st.rp.R.methods.(midx) in
+  if Array.length m.R.m_body = 0 then vm_err "AbstractMethodError: %s.run" c.R.c_name;
+  if m.R.m_nparams <> 0 then vm_err "arity mismatch calling %s.run (0 args)" c.R.c_name;
+  let f = Array.copy m.R.m_frame in
+  f.(0) <- recv;
+  ignore (run_body st m f);
+  (* The thread terminates: its default page manager is released (the
+     paper's per-thread reclamation). *)
+  (match st.mode with
+  | Facade_mode rt -> Store.release_thread rt.store tid
+  | Object_mode -> ());
+  st.thread <- parent
+
+and exec_intrinsic st frame ret i (ops : R.operand array) =
+  let v k = operand frame ops.(k) in
+  let set x = match ret with Some r -> frame.(r) <- x | None -> () in
+  match i with
+  | R.I_alloc ->
+      let rt = the_rt st in
+      let addr =
+        Store.alloc_record rt.store ~thread:st.thread ~type_id:(as_int (v 0))
+          ~data_bytes:(as_int (v 1))
+      in
+      Exec_stats.note_record st.stats;
+      sync_native st;
+      set (Value.Int (Addr.to_int addr))
+  | R.I_alloc_array | R.I_alloc_array_oversize ->
+      let rt = the_rt st in
+      let alloc =
+        match i with
+        | R.I_alloc_array -> Store.alloc_array
+        | _ -> Store.alloc_array_oversize
+      in
+      let addr =
+        alloc rt.store ~thread:st.thread ~type_id:(as_int (v 0)) ~elem_bytes:(as_int (v 1))
+          ~length:(as_int (v 2))
+      in
+      Exec_stats.note_record st.stats;
+      sync_native st;
+      set (Value.Int (Addr.to_int addr))
+  | R.I_free_oversize ->
+      let rt = the_rt st in
+      Store.free_oversize_early rt.store ~thread:st.thread (addr_of (check_nonnull (v 0)));
+      sync_native st
+  | R.I_array_length ->
+      let rt = the_rt st in
+      set (Value.Int (Store.array_length rt.store (addr_of (check_nonnull (v 0)))))
+  | R.I_type_id ->
+      let rt = the_rt st in
+      set (Value.Int (Store.type_id rt.store (addr_of (check_nonnull (v 0)))))
+  | R.I_is_type ->
+      let rt = the_rt st in
+      let r = v 0 in
+      let ok = as_int r <> 0 && Store.type_id rt.store (addr_of r) = as_int (v 1) in
+      set (Value.Int (if ok then 1 else 0))
+  | R.I_checkcast ->
+      let r = v 0 in
+      if as_int r = 0 then set (Value.Int 0)
+      else begin
+        let rt = the_rt st in
+        let actual = Store.type_id rt.store (addr_of r) in
+        let target = as_int (v 1) in
+        let n = st.rp.R.n_tids in
+        let ok =
+          actual = target
+          || (actual >= 0 && actual < n && target >= 0 && target < n
+             && st.rp.R.tid_cast_ok.((actual * n) + target))
+        in
+        if not ok then
+          vm_err "ClassCastException: record of type %s is not a %s"
+            (Layout.name_of_type_id rt.layout actual)
+            (Layout.name_of_type_id rt.layout target);
+        set r
+      end
+  | R.I_string_literal -> (
+      match v 0 with
+      | Value.Str s ->
+          let rt = the_rt st in
+          set (Value.Int (intern_string st rt s))
+      | _ -> vm_err "unknown intrinsic %s/1" Facade_compiler.Rt_names.string_literal)
+  | R.I_pool_param ->
+      let rt = the_rt st in
+      let tid = as_int (v 0) and idx = as_int (v 1) in
+      Exec_stats.note_pool_use st.stats ~type_id:tid ~index:idx;
+      set (Value.Facade (FP.param (pools_of st rt) ~type_id:tid ~index:idx))
+  | R.I_pool_receiver ->
+      let rt = the_rt st in
+      set (Value.Facade (FP.receiver (pools_of st rt) ~type_id:(as_int (v 0))))
+  | R.I_pool_resolve ->
+      let rt = the_rt st in
+      let r = v 0 in
+      let tid = Store.type_id rt.store (addr_of (check_nonnull r)) in
+      let f = FP.receiver (pools_of st rt) ~type_id:tid in
+      FP.bind f (addr_of r);
+      set (Value.Facade f)
+  | R.I_facade_bind -> FP.bind (as_facade (v 0)) (Addr.of_int (as_int (v 1)))
+  | R.I_facade_read -> set (Value.Int (Addr.to_int (FP.read (as_facade (v 0)))))
+  | R.I_lock_enter ->
+      let rt = the_rt st in
+      Pagestore.Lock_pool.monitor_enter rt.locks rt.store
+        (addr_of (check_nonnull (v 0)))
+        ~thread:st.thread
+  | R.I_lock_exit ->
+      let rt = the_rt st in
+      Pagestore.Lock_pool.monitor_exit rt.locks rt.store
+        (addr_of (check_nonnull (v 0)))
+        ~thread:st.thread
+  | R.I_convert_from -> (
+      match v 0 with
+      | Value.Str _ty ->
+          let rt = the_rt st in
+          set (Value.Int (convert_from st rt (Hashtbl.create 8) (v 1)))
+      | _ -> vm_err "unknown intrinsic %s/2" Facade_compiler.Rt_names.convert_from)
+  | R.I_convert_to -> (
+      match v 0 with
+      | Value.Str _ty ->
+          let rt = the_rt st in
+          set (convert_to st rt (Hashtbl.create 8) (as_int (v 1)))
+      | _ -> vm_err "unknown intrinsic %s/2" Facade_compiler.Rt_names.convert_to)
+  | R.I_print ->
+      st.stats.Exec_stats.output <- Value.to_string (v 0) :: st.stats.Exec_stats.output
+  | R.I_current_thread -> set (Value.Int st.thread)
+  | R.I_arraycopy -> (
+      let src = v 0 and dst = v 2 in
+      match src, dst with
+      | Value.Arr a, Value.Arr b ->
+          Array.blit a.Value.elems (as_int (v 1)) b.Value.elems (as_int (v 3))
+            (as_int (v 4))
+      | Value.Int _, Value.Int _ ->
+          let rt = the_rt st in
+          let sa = addr_of (check_nonnull src) in
+          let da = addr_of (check_nonnull dst) in
+          let eb = elem_width_of_tid st rt (Store.type_id rt.store sa) in
+          Store.arraycopy rt.store ~src:sa ~src_pos:(as_int (v 1)) ~dst:da
+            ~dst_pos:(as_int (v 3)) ~len:(as_int (v 4)) ~elem_bytes:eb
+      | _, _ -> vm_err "arraycopy: mixed or bad array values")
+  | R.I_get a ->
+      let rt = the_rt st in
+      set (store_get rt a (addr_of (check_nonnull (v 0))) ~offset:(as_int (v 1)))
+  | R.I_set a ->
+      let rt = the_rt st in
+      store_set rt a (addr_of (check_nonnull (v 0))) ~offset:(as_int (v 1)) (v 2)
+  | R.I_aget a ->
+      let rt = the_rt st in
+      let addr = addr_of (check_nonnull (v 0)) in
+      let idx = as_int (v 2) in
+      if idx < 0 || idx >= Store.array_length rt.store addr then
+        vm_err "ArrayIndexOutOfBoundsException: %d" idx;
+      let offset = Store.array_elem_offset ~elem_bytes:(as_int (v 1)) ~index:idx in
+      set (store_get rt a addr ~offset)
+  | R.I_aset a ->
+      let rt = the_rt st in
+      let addr = addr_of (check_nonnull (v 0)) in
+      let idx = as_int (v 2) in
+      if idx < 0 || idx >= Store.array_length rt.store addr then
+        vm_err "ArrayIndexOutOfBoundsException: %d" idx;
+      let offset = Store.array_elem_offset ~elem_bytes:(as_int (v 1)) ~index:idx in
+      store_set rt a addr ~offset (v 3)
 
 (* ---------- program setup ---------- *)
-
-let init_globals st =
-  List.iter
-    (fun (c : Ir.cls) ->
-      List.iter
-        (fun (f : Ir.field) ->
-          if f.Ir.fstatic then
-            let v =
-              match f.Ir.finit with
-              | Some k -> Value.of_const k
-              | None -> Value.default_of f.Ir.ftype
-            in
-            Hashtbl.replace st.globals (global_key c.Ir.cname f.Ir.fname) v)
-        c.Ir.cfields)
-    (Program.classes st.p)
 
 let finish st =
   let store_stats, facades =
@@ -783,39 +778,52 @@ let finish st =
     | Facade_mode rt ->
         ( Some (Store.stats rt.store),
           Hashtbl.fold (fun _ p acc -> acc + FP.total_facades p) rt.pools 0 )
-    | Object_mode _ -> (None, 0)
+    | Object_mode -> (None, 0)
   in
   { result = None; stats = st.stats; store_stats; facades_allocated = facades }
 
 let run_entry st ~entry_args =
-  let cls, mname = Program.entry st.p in
-  init_globals st;
-  let result = exec_call st ~kind:Ir.Static ~cls ~mname ~recv:None ~argv:entry_args in
+  if st.rp.R.entry < 0 then begin
+    let cls, mname = Program.entry st.rp.R.src in
+    vm_err "NoSuchMethodError: %s.%s" cls mname
+  end;
+  let m = st.rp.R.methods.(st.rp.R.entry) in
+  if Array.length m.R.m_body = 0 then
+    vm_err "AbstractMethodError: %s.%s" m.R.m_cls m.R.m_name;
+  if List.length entry_args <> m.R.m_nparams then
+    vm_err "arity mismatch calling %s.%s (%d args)" m.R.m_cls m.R.m_name
+      (List.length entry_args);
+  let f = Array.copy m.R.m_frame in
+  List.iteri (fun i a -> f.(i + 1) <- a) entry_args;
+  let result = run_body st m f in
   let o = finish st in
   { o with result }
 
 let default_max_steps = 50_000_000
 
+let make_st rp mode heap max_steps thread =
+  {
+    rp;
+    mode;
+    heap;
+    stats = Exec_stats.create ();
+    globals = Array.copy rp.R.globals_init;
+    monitors = Hashtbl.create 16;
+    oid = 0;
+    max_steps;
+    thread;
+    next_thread = 1;
+  }
+
 let run_object ?heap ?(is_data = fun _ -> false) ?(max_steps = default_max_steps)
     ?(entry_args = []) p =
-  let st =
-    {
-      p;
-      mode = Object_mode is_data;
-      heap;
-      stats = Exec_stats.create ();
-      globals = Hashtbl.create 64;
-      monitors = Hashtbl.create 16;
-      oid = 0;
-      max_steps;
-      thread = 0;
-      next_thread = 1;
-    }
-  in
+  let rp = Link.object_program ~is_data p in
+  let st = make_st rp Object_mode heap max_steps 0 in
   run_entry st ~entry_args
 
 let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?(entry_args = [])
     (pl : Facade_compiler.Pipeline.t) =
+  let rp = Link.facade_program pl in
   let store = Store.create ?page_bytes () in
   let thread = 0 in
   Store.register_thread store thread;
@@ -835,20 +843,7 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?(entry_args =
       last_pages = 0;
     }
   in
-  let st =
-    {
-      p = pl.Facade_compiler.Pipeline.transformed;
-      mode = Facade_mode rt;
-      heap;
-      stats = Exec_stats.create ();
-      globals = Hashtbl.create 64;
-      monitors = Hashtbl.create 16;
-      oid = 0;
-      max_steps;
-      thread;
-      next_thread = 1;
-    }
-  in
+  let st = make_st rp (Facade_mode rt) heap max_steps thread in
   (* The facade pools themselves are heap objects — the paper's O(t·n). *)
   (match heap with
   | Some h ->

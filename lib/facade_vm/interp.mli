@@ -1,4 +1,10 @@
-(** The jir virtual machine.
+(** The jir virtual machine, running on the {!Resolved} execution form.
+
+    Programs are first lowered by {!Link} — names interned to integer
+    ids, frames slot-indexed, vtables and field layouts precomputed — and
+    the interpreter executes that form with no string lookup on the
+    per-instruction path. The original tree-walking interpreter survives
+    as {!Interp_baseline} for differential testing and benchmarking.
 
     One interpreter runs both sides of the paper's comparison:
 
@@ -18,6 +24,9 @@
 
 exception Vm_error of string
 (** Runtime failures (missing method, bad cast, arithmetic, step budget). *)
+
+val default_max_steps : int
+(** 50 million — the [max_steps] default shared with {!Interp_baseline}. *)
 
 type outcome = {
   result : Value.t option;

@@ -1,0 +1,526 @@
+(* The linker: one pass over a jir program that interns every name to a
+   dense integer id and lowers method bodies to the resolved form the
+   interpreter executes. Anything that cannot be resolved statically
+   becomes an [Rerror] that raises only if reached, so linking never
+   rejects a program the name-based interpreter would have run. *)
+
+open Jir
+module R = Resolved
+module Layout = Facade_compiler.Layout
+module Pipeline = Facade_compiler.Pipeline
+module Rt = Facade_compiler.Rt_names
+
+(* ---------- name interning ---------- *)
+
+type interner = {
+  tbl : (string, int) Hashtbl.t;
+  mutable rev : string list;  (* most recent first *)
+  mutable n : int;
+}
+
+let interner () = { tbl = Hashtbl.create 64; rev = []; n = 0 }
+
+let intern it s =
+  match Hashtbl.find_opt it.tbl s with
+  | Some i -> i
+  | None ->
+      let i = it.n in
+      it.n <- i + 1;
+      Hashtbl.add it.tbl s i;
+      it.rev <- s :: it.rev;
+      i
+
+let interned_array it =
+  let a = Array.make it.n "" in
+  List.iteri (fun i s -> a.(it.n - 1 - i) <- s) it.rev;
+  a
+
+(* ---------- shared sizing ---------- *)
+
+let java_field_bytes = function
+  | Jtype.Prim (Jtype.Bool | Jtype.Byte) -> 1
+  | Jtype.Prim (Jtype.Char | Jtype.Short) -> 2
+  | Jtype.Prim (Jtype.Int | Jtype.Float) -> 4
+  | Jtype.Prim (Jtype.Long | Jtype.Double) -> 8
+  | Jtype.Ref _ | Jtype.Array _ -> Heapsim.Obj_model.reference_bytes
+
+(* ---------- the link ---------- *)
+
+let link ?(is_data = fun _ -> false) ?layout (p : Program.t) : R.program =
+  let cids = interner () in
+  let fids = interner () in
+  let mids = interner () in
+
+  (* Class universe: declared classes first, then any [New] target the
+     program allocates without declaring (the name-based interpreter
+     allocates those as field-less objects, so they need a cid too). *)
+  List.iter (fun (c : Ir.cls) -> ignore (intern cids c.Ir.cname)) (Program.classes p);
+  List.iter
+    (fun (c : Ir.cls) ->
+      List.iter
+        (fun (m : Ir.meth) ->
+          Ir.iter_instrs
+            (function Ir.New (_, cls) -> ignore (intern cids cls) | _ -> ())
+            m)
+        c.Ir.cmethods)
+    (Program.classes p);
+  let n_classes = cids.n in
+  let class_names = interned_array cids in
+
+  (* Method enumeration: one resolved method per declaration, in class
+     order, so static/special call sites can be pre-bound to an index. *)
+  let meth_index : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let decls = ref [] in
+  List.iter
+    (fun (c : Ir.cls) ->
+      List.iter
+        (fun (m : Ir.meth) ->
+          Hashtbl.replace meth_index (c.Ir.cname, m.Ir.mname) (List.length !decls);
+          decls := (c.Ir.cname, m) :: !decls)
+        c.Ir.cmethods)
+    (Program.classes p);
+  let decls = Array.of_list (List.rev !decls) in
+  ignore (intern mids "run");
+
+  (* Static fields become a dense globals array. *)
+  let gid_tbl : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
+  let globals = ref [] in
+  List.iter
+    (fun (c : Ir.cls) ->
+      List.iter
+        (fun (f : Ir.field) ->
+          if f.Ir.fstatic then begin
+            let v =
+              match f.Ir.finit with
+              | Some k -> Value.of_const k
+              | None -> Value.default_of f.Ir.ftype
+            in
+            Hashtbl.replace gid_tbl (c.Ir.cname, f.Ir.fname) (List.length !globals);
+            globals := ((c.Ir.cname, f.Ir.fname), v) :: !globals
+          end)
+        c.Ir.cfields)
+    (Program.classes p);
+  let globals = Array.of_list (List.rev !globals) in
+
+  (* Walk a class's super chain for the declaring class of [mname] — the
+     static/special resolution the interpreter used to do per call. *)
+  let resolve_static cls mname =
+    let rec go c =
+      match Hashtbl.find_opt meth_index (c, mname) with
+      | Some i -> Some i
+      | None -> (
+          match Program.find_class p c with
+          | Some { Ir.super = Some s; _ } -> go s
+          | Some { Ir.super = None; _ } | None -> None)
+    in
+    go cls
+  in
+
+  (* Type tests: precompute the per-class verdict once per distinct type. *)
+  let rtests : (Jtype.t, R.rtest) Hashtbl.t = Hashtbl.create 16 in
+  let rtest ty =
+    match Hashtbl.find_opt rtests ty with
+    | Some t -> t
+    | None ->
+        let t =
+          {
+            R.t_ty = ty;
+            t_cid_ok =
+              Array.init n_classes (fun cid ->
+                  Hierarchy.is_assignable p ~from_:(Jtype.Ref class_names.(cid)) ~to_:ty);
+            t_is_string = Jtype.equal ty (Jtype.Ref Jtype.string_class);
+          }
+        in
+        Hashtbl.replace rtests ty t;
+        t
+  in
+
+  let acc_of_suffix = function
+    | "i8" -> Some R.A_i8
+    | "i16" -> Some R.A_i16
+    | "i32" -> Some R.A_i32
+    | "i64" | "ref" -> Some R.A_i64
+    | "f32" -> Some R.A_f32
+    | "f64" -> Some R.A_f64
+    | _ -> None
+  in
+  let has_prefix s pre =
+    String.length s > String.length pre && String.sub s 0 (String.length pre) = pre
+  in
+  let suffix_of s pre = String.sub s (String.length pre) (String.length s - String.length pre) in
+
+  (* ---------- method-body lowering ---------- *)
+
+  let lower_meth cname (m : Ir.meth) : R.meth =
+    (* Slot assignment: this = 0, params next, then remaining variables by
+       descending static use count (hot locals get low slots — the order
+       also makes frames deterministic for debugging). *)
+    let slots : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.replace slots "this" 0;
+    List.iteri (fun i (v, _) -> if not (Hashtbl.mem slots v) then Hashtbl.replace slots v (i + 1)) m.Ir.params;
+    let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    let touch v =
+      if not (Hashtbl.mem slots v) then begin
+        if not (Hashtbl.mem counts v) then order := v :: !order;
+        Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+      end
+    in
+    Array.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun i ->
+            Option.iter touch (Analysis.Defuse.def i);
+            List.iter touch (Analysis.Defuse.uses i))
+          b.Ir.instrs;
+        List.iter touch (Analysis.Defuse.term_uses b.Ir.term))
+      m.Ir.body;
+    List.iter (fun (v, _) -> touch v) m.Ir.locals;
+    let rest =
+      List.stable_sort
+        (fun a b -> compare (Hashtbl.find counts b) (Hashtbl.find counts a))
+        (List.rev !order)
+    in
+    List.iteri (fun i v -> Hashtbl.replace slots v (1 + List.length m.Ir.params + i)) rest;
+    let nslots = 1 + List.length m.Ir.params + List.length rest in
+    let frame = Array.make nslots Value.Null in
+    List.iter
+      (fun (v, ty) ->
+        match Hashtbl.find_opt slots v with
+        | Some s -> frame.(s) <- Value.default_of ty
+        | None -> ())
+      m.Ir.locals;
+    let slot v =
+      match Hashtbl.find_opt slots v with
+      | Some s -> s
+      | None -> (* unreachable: every var was collected above *) assert false
+    in
+    let operand = function
+      | Ir.Var v -> R.Oslot (slot v)
+      | Ir.Imm c -> R.Oconst (Value.of_const c)
+    in
+    let intrinsic ret name ops =
+      let n = List.length ops in
+      let bind i = R.Rintrinsic (Option.map slot ret, i, Array.of_list (List.map operand ops)) in
+      let unknown () = R.Rerror (Printf.sprintf "unknown intrinsic %s/%d" name n) in
+      let acc_or pre k =
+        match acc_of_suffix (suffix_of name pre) with
+        | Some a -> bind (k a)
+        | None -> R.Rerror (Printf.sprintf "unknown access kind %s" (suffix_of name pre))
+      in
+      if String.equal name Rt.alloc then if n = 2 then bind R.I_alloc else unknown ()
+      else if String.equal name Rt.alloc_array then
+        if n = 3 then bind R.I_alloc_array else unknown ()
+      else if String.equal name Rt.alloc_array_oversize then
+        if n = 3 then bind R.I_alloc_array_oversize else unknown ()
+      else if String.equal name Rt.free_oversize then
+        if n = 1 then bind R.I_free_oversize else unknown ()
+      else if String.equal name Rt.array_length then
+        if n = 1 then bind R.I_array_length else unknown ()
+      else if String.equal name Rt.type_id then if n = 1 then bind R.I_type_id else unknown ()
+      else if String.equal name Rt.is_type then if n = 2 then bind R.I_is_type else unknown ()
+      else if String.equal name Rt.checkcast then
+        if n = 2 then bind R.I_checkcast else unknown ()
+      else if String.equal name Rt.string_literal then
+        if n = 1 then bind R.I_string_literal else unknown ()
+      else if String.equal name Rt.pool_param then
+        if n = 2 then bind R.I_pool_param else unknown ()
+      else if String.equal name Rt.pool_receiver then
+        if n = 1 then bind R.I_pool_receiver else unknown ()
+      else if String.equal name Rt.pool_resolve then
+        if n = 1 then bind R.I_pool_resolve else unknown ()
+      else if String.equal name Rt.facade_bind then
+        if n = 2 then bind R.I_facade_bind else unknown ()
+      else if String.equal name Rt.facade_read then
+        if n = 1 then bind R.I_facade_read else unknown ()
+      else if String.equal name Rt.lock_enter then
+        if n = 1 then bind R.I_lock_enter else unknown ()
+      else if String.equal name Rt.lock_exit then if n = 1 then bind R.I_lock_exit else unknown ()
+      else if String.equal name Rt.convert_from then
+        if n = 2 then bind R.I_convert_from else unknown ()
+      else if String.equal name Rt.convert_to then
+        if n = 2 then bind R.I_convert_to else unknown ()
+      else if String.equal name Rt.print then if n = 1 then bind R.I_print else unknown ()
+      else if String.equal name Rt.current_thread then
+        if n = 0 then bind R.I_current_thread else unknown ()
+      else if String.equal name Rt.arraycopy then if n = 5 then bind R.I_arraycopy else unknown ()
+      else if has_prefix name "rt.get_" then
+        if n = 2 then acc_or "rt.get_" (fun a -> R.I_get a) else unknown ()
+      else if has_prefix name "rt.set_" then
+        if n = 3 then acc_or "rt.set_" (fun a -> R.I_set a) else unknown ()
+      else if has_prefix name "rt.aget_" then
+        if n = 3 then acc_or "rt.aget_" (fun a -> R.I_aget a) else unknown ()
+      else if has_prefix name "rt.aset_" then
+        if n = 4 then acc_or "rt.aset_" (fun a -> R.I_aset a) else unknown ()
+      else unknown ()
+    in
+    let lower_instr = function
+      | Ir.Const (v, c) -> R.Rconst (slot v, Value.of_const c)
+      | Ir.Move (a, b) -> R.Rmove (slot a, slot b)
+      | Ir.Binop (v, op, x, y) -> R.Rbinop (slot v, op, slot x, slot y)
+      | Ir.Unop (v, Ir.Neg, x) -> R.Rneg (slot v, slot x)
+      | Ir.Unop (v, Ir.Not, x) -> R.Rnot (slot v, slot x)
+      | Ir.New (v, cls) -> R.Rnew (slot v, intern cids cls)
+      | Ir.New_array (v, ety, len) ->
+          R.Rnew_array
+            ( slot v,
+              {
+                R.na_ety = ety;
+                na_default = Value.default_of ety;
+                na_elem_bytes = java_field_bytes ety;
+                na_is_data =
+                  (match ety with
+                  | Jtype.Ref c -> is_data c
+                  | Jtype.Prim _ | Jtype.Array _ -> false);
+                na_cls = Jtype.to_string (Jtype.Array ety);
+              },
+              slot len )
+      | Ir.Field_load (b, a, f) -> R.Rfield_load (slot b, slot a, intern fids f)
+      | Ir.Field_store (a, f, b) -> R.Rfield_store (slot a, intern fids f, slot b)
+      | Ir.Static_load (b, c, f) -> (
+          match Hashtbl.find_opt gid_tbl (c, f) with
+          | Some g -> R.Rstatic_load (slot b, g)
+          | None -> R.Rerror (Printf.sprintf "NoSuchFieldError: static %s.%s" c f))
+      | Ir.Static_store (c, f, b) -> (
+          match Hashtbl.find_opt gid_tbl (c, f) with
+          | Some g -> R.Rstatic_store (g, slot b)
+          | None -> R.Rerror (Printf.sprintf "NoSuchFieldError: static %s.%s" c f))
+      | Ir.Array_load (b, a, i) -> R.Rarray_load (slot b, slot a, slot i)
+      | Ir.Array_store (a, i, b) -> R.Rarray_store (slot a, slot i, slot b)
+      | Ir.Array_length (b, a) -> R.Rarray_length (slot b, slot a)
+      | Ir.Call (ret, Ir.Virtual, cls, mname, recv, args) -> (
+          match recv with
+          | None ->
+              R.Rerror (Printf.sprintf "virtual call %s.%s without a receiver" cls mname)
+          | Some r ->
+              R.Rcall_virtual
+                ( Option.map slot ret,
+                  intern mids mname,
+                  slot r,
+                  Array.of_list (List.map slot args) ))
+      | Ir.Call (ret, (Ir.Static | Ir.Special), cls, mname, recv, args) -> (
+          match resolve_static cls mname with
+          | None -> R.Rerror (Printf.sprintf "NoSuchMethodError: %s.%s" cls mname)
+          | Some midx ->
+              let _, m = decls.(midx) in
+              if List.length m.Ir.params <> List.length args then
+                R.Rerror
+                  (Printf.sprintf "arity mismatch calling %s.%s (%d args)" cls mname
+                     (List.length args))
+              else if Array.length m.Ir.body = 0 then
+                R.Rerror (Printf.sprintf "AbstractMethodError: %s.%s" cls mname)
+              else
+                R.Rcall
+                  ( Option.map slot ret,
+                    midx,
+                    Option.map slot recv,
+                    Array.of_list (List.map slot args) ))
+      | Ir.Instance_of (t, a, ty) -> R.Rinstance_of (slot t, slot a, rtest ty)
+      | Ir.Cast (a, b, ty) -> R.Rcast (slot a, slot b, rtest ty)
+      | Ir.Monitor_enter v -> R.Rmonitor_enter (slot v)
+      | Ir.Monitor_exit v -> R.Rmonitor_exit (slot v)
+      | Ir.Iter_start -> R.Riter_start
+      | Ir.Iter_end -> R.Riter_end
+      | Ir.Intrinsic (_, name, ops) when String.equal name Rt.run_thread -> (
+          match ops with
+          | [ op ] -> R.Rrun_thread (operand op)
+          | _ -> R.Rerror "sys.run_thread expects one receiver")
+      | Ir.Intrinsic (ret, name, ops) -> intrinsic ret name ops
+    in
+    let body =
+      Array.map
+        (fun (b : Ir.block) ->
+          {
+            R.code = Array.of_list (List.map lower_instr b.Ir.instrs);
+            term =
+              (match b.Ir.term with
+              | Ir.Ret None -> R.Rret_void
+              | Ir.Ret (Some v) -> R.Rret (slot v)
+              | Ir.Jump t -> R.Rjump t
+              | Ir.Branch (v, t, e) -> R.Rbranch (slot v, t, e));
+          })
+        m.Ir.body
+    in
+    {
+      R.m_cls = cname;
+      m_name = m.Ir.mname;
+      m_has_this = not m.Ir.mstatic;
+      m_nparams = List.length m.Ir.params;
+      m_frame = frame;
+      m_body = body;
+    }
+  in
+
+  let methods = Array.map (fun (cname, m) -> lower_meth cname m) decls in
+
+  (* ---------- per-class tables (after lowering fixed the id spaces) ---------- *)
+
+  let n_fids = fids.n and n_mids = mids.n in
+  (* Field ids also cover declared fields that no instruction touches. *)
+  let all_fields = Array.map (fun c -> Hierarchy.all_instance_fields p c) class_names in
+  Array.iter (List.iter (fun (_, (f : Ir.field)) -> ignore (intern fids f.Ir.fname))) all_fields;
+  let n_fids = max n_fids fids.n in
+
+  let classes =
+    Array.mapi
+      (fun cid cname ->
+        let fields = all_fields.(cid) in
+        (* Canonical instance layout: one slot per distinct name, first
+           (root-most) position, most-derived declaration wins the type —
+           mirroring the hashtable the name-based interpreter built. *)
+        let slot_by_name : (string, int) Hashtbl.t = Hashtbl.create 8 in
+        let layout_rev = ref [] in
+        let nslots = ref 0 in
+        List.iter
+          (fun (_, (f : Ir.field)) ->
+            match Hashtbl.find_opt slot_by_name f.Ir.fname with
+            | Some s ->
+                layout_rev :=
+                  List.map
+                    (fun (s', r) ->
+                      if s' = s then (s', { R.f_name = f.Ir.fname; f_ty = f.Ir.ftype })
+                      else (s', r))
+                    !layout_rev
+            | None ->
+                let s = !nslots in
+                incr nslots;
+                Hashtbl.replace slot_by_name f.Ir.fname s;
+                layout_rev := (s, { R.f_name = f.Ir.fname; f_ty = f.Ir.ftype }) :: !layout_rev)
+          fields;
+        let c_fields = Array.make !nslots { R.f_name = ""; f_ty = Jtype.Ref "" } in
+        List.iter (fun (s, r) -> c_fields.(s) <- r) !layout_rev;
+        let c_defaults = Array.map (fun (r : R.rfield) -> Value.default_of r.R.f_ty) c_fields in
+        let c_slot_of_fid = Array.make n_fids (-1) in
+        Hashtbl.iter
+          (fun name s ->
+            match Hashtbl.find_opt fids.tbl name with
+            | Some fid -> c_slot_of_fid.(fid) <- s
+            | None -> ())
+          slot_by_name;
+        let c_vtable = Array.make n_mids (-1) in
+        List.iter
+          (fun (declaring, (m : Ir.meth)) ->
+            match
+              ( Hashtbl.find_opt mids.tbl m.Ir.mname,
+                Hashtbl.find_opt meth_index (declaring, m.Ir.mname) )
+            with
+            | Some mid, Some midx -> c_vtable.(mid) <- midx
+            | _, _ -> ())
+          (Hierarchy.method_table p cname);
+        let field_bytes =
+          List.fold_left (fun a (_, (f : Ir.field)) -> a + java_field_bytes f.Ir.ftype) 0 fields
+        in
+        let c_tid =
+          match layout with
+          | None -> -1
+          | Some l -> ( try Layout.type_id l cname with Not_found -> -1)
+        in
+        let is_record = c_tid >= 0 && not (Option.is_none layout) in
+        let c_data_bytes =
+          if is_record then Layout.record_data_bytes (Option.get layout) cname else 0
+        in
+        let c_conv =
+          if is_record then
+            Array.of_list
+              (List.map
+                 (fun (fs : Layout.field_slot) ->
+                   ( fs,
+                     Option.value ~default:(-1)
+                       (Hashtbl.find_opt slot_by_name fs.Layout.name) ))
+                 (Layout.fields (Option.get layout) cname))
+          else [||]
+        in
+        {
+          R.c_name = cname;
+          c_fields;
+          c_defaults;
+          c_slot_of_fid;
+          c_vtable;
+          c_java_bytes = Heapsim.Obj_model.object_bytes ~field_bytes;
+          c_is_data = is_data cname;
+          c_tid;
+          c_data_bytes;
+          c_conv;
+        })
+      class_names
+  in
+
+  (* ---------- facade-mode tables ---------- *)
+
+  let cid_opt name = Hashtbl.find_opt cids.tbl name in
+  let n_tids = match layout with None -> 0 | Some l -> Layout.num_types l in
+  let data_cid_of_tid = Array.make n_tids (-1) in
+  let facade_cid_of_tid = Array.make n_tids (-1) in
+  let elem_ty_of_tid = Array.make n_tids None in
+  let elem_bytes_of_tid = Array.make n_tids 0 in
+  let tid_is_array = Array.make n_tids false in
+  (match layout with
+  | None -> ()
+  | Some l ->
+      for tid = 0 to n_tids - 1 do
+        let name = Layout.name_of_type_id l tid in
+        if Layout.is_array_type_id l tid then begin
+          tid_is_array.(tid) <- true;
+          let ety = Jtype.element (Jtype.of_name name) in
+          elem_ty_of_tid.(tid) <- Some ety;
+          elem_bytes_of_tid.(tid) <- Layout.elem_bytes ety
+        end
+        else begin
+          data_cid_of_tid.(tid) <- Option.value ~default:(-1) (cid_opt name);
+          facade_cid_of_tid.(tid) <-
+            Option.value ~default:(-1)
+              (cid_opt (Facade_compiler.Transform.facade_name name))
+        end
+      done);
+  let tid_cast_ok = Array.make (n_tids * n_tids) false in
+  (match layout with
+  | None -> ()
+  | Some l ->
+      for a = 0 to n_tids - 1 do
+        for t = 0 to n_tids - 1 do
+          tid_cast_ok.((a * n_tids) + t) <-
+            a = t
+            || (not (Layout.is_array_type_id l a))
+               && (not (Layout.is_array_type_id l t))
+               && Hierarchy.is_subclass p ~sub:(Layout.name_of_type_id l a)
+                    ~super:(Layout.name_of_type_id l t)
+        done
+      done);
+
+  let entry_cls, entry_name = Program.entry p in
+  {
+    R.src = p;
+    classes;
+    cid_of_name = cids.tbl;
+    methods;
+    method_names = interned_array mids;
+    field_names = interned_array fids;
+    global_names = Array.map fst globals;
+    globals_init = Array.map snd globals;
+    entry = Option.value ~default:(-1) (resolve_static entry_cls entry_name);
+    string_cid = Option.value ~default:(-1) (cid_opt Jtype.string_class);
+    run_mid = Option.value ~default:(-1) (Hashtbl.find_opt mids.tbl "run");
+    data_cid_of_tid;
+    facade_cid_of_tid;
+    elem_ty_of_tid;
+    elem_bytes_of_tid;
+    tid_is_array;
+    tid_cast_ok;
+    n_tids;
+  }
+
+let object_program ?is_data p = link ?is_data p
+
+(* The pipeline owns P′, so it also caches the linked form: the first run
+   links, later runs reuse. *)
+type Pipeline.artifact += Linked of R.program
+
+let facade_program (pl : Pipeline.t) =
+  match Pipeline.artifact pl with
+  | Some (Linked rp) -> rp
+  | Some _ | None ->
+      let rp =
+        link ~layout:pl.Pipeline.layout pl.Pipeline.transformed
+      in
+      Pipeline.set_artifact pl (Linked rp);
+      rp

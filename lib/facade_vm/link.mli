@@ -1,0 +1,19 @@
+(** The linker: lowers a jir program to the {!Resolved} execution form —
+    names interned to dense ids, method bodies as instruction arrays over
+    slot-indexed frames, vtables / field layouts / type-test outcomes /
+    intrinsic bindings precomputed. Unresolvable references lower to
+    [Rerror] instructions that raise only when executed, so linking
+    accepts everything the name-based interpreter would have run. *)
+
+val object_program :
+  ?is_data:(string -> bool) -> Jir.Program.t -> Resolved.program
+(** Link a program for object-mode execution. The [is_data] predicate is
+    baked into allocation sites (it drives heap-lifetime charging), so a
+    fresh link is produced per predicate. *)
+
+val facade_program : Facade_compiler.Pipeline.t -> Resolved.program
+(** Link a pipeline's transformed program P′ for facade-mode execution,
+    including the layout-derived tables (tid → class, element widths, the
+    record-cast matrix). The result is memoized on the pipeline via
+    {!Facade_compiler.Pipeline.set_artifact}: the first run links, later
+    runs reuse. *)

@@ -1,0 +1,180 @@
+(* The resolved execution form: jir lowered to what the interpreter's hot
+   loop actually needs. Names are gone — classes, methods, fields,
+   statics, and locals are integer ids assigned by the linker — and every
+   decision that depends only on the program text (method resolution for
+   static/special calls, field offsets, intrinsic identity, type-test
+   outcomes per class, allocation sizes) has already been taken. *)
+
+open Jir
+
+type slot = int
+(** An index into a frame's value array. *)
+
+(* Access kind of an rt.get_*/set_*/aget_*/aset_* intrinsic, parsed from
+   the name suffix once at link time. *)
+type acc = A_i8 | A_i16 | A_i32 | A_i64 | A_f32 | A_f64
+
+(* The closed intrinsic set, pre-bound from the rt.*/pool.*/facade.*/
+   lock.*/convert.*/sys.* names the compiler emits. *)
+type intrinsic =
+  | I_alloc
+  | I_alloc_array
+  | I_alloc_array_oversize
+  | I_free_oversize
+  | I_array_length
+  | I_type_id
+  | I_is_type
+  | I_checkcast
+  | I_string_literal
+  | I_pool_param
+  | I_pool_receiver
+  | I_pool_resolve
+  | I_facade_bind
+  | I_facade_read
+  | I_lock_enter
+  | I_lock_exit
+  | I_convert_from
+  | I_convert_to
+  | I_print
+  | I_current_thread
+  | I_arraycopy
+  | I_get of acc
+  | I_set of acc
+  | I_aget of acc
+  | I_aset of acc
+
+type operand = Oslot of slot | Oconst of Value.t
+
+(* A type test with its per-class outcome precomputed: [t_cid_ok.(cid)]
+   answers instanceof for any object or facade of linked class [cid].
+   Arrays fall back to the structural check on [t_ty]. *)
+type rtest = {
+  t_ty : Jtype.t;
+  t_cid_ok : bool array;
+  t_is_string : bool;
+}
+
+(* Allocation site of an array, fully sized at link time. *)
+type newarr = {
+  na_ety : Jtype.t;
+  na_default : Value.t;
+  na_elem_bytes : int;   (* Java element width, for the heap charge *)
+  na_is_data : bool;
+  na_cls : string;       (* "Elem[]", for per-class stats *)
+}
+
+type instr =
+  | Rconst of slot * Value.t
+  | Rmove of slot * slot
+  | Rbinop of slot * Ir.binop * slot * slot
+  | Rneg of slot * slot
+  | Rnot of slot * slot
+  | Rnew of slot * int                      (* dst, cid *)
+  | Rnew_array of slot * newarr * slot      (* dst, site, length *)
+  | Rfield_load of slot * slot * int        (* dst, obj, fid *)
+  | Rfield_store of slot * int * slot       (* obj, fid, src *)
+  | Rstatic_load of slot * int              (* dst, gid *)
+  | Rstatic_store of int * slot
+  | Rarray_load of slot * slot * slot
+  | Rarray_store of slot * slot * slot
+  | Rarray_length of slot * slot
+  | Rcall of slot option * int * slot option * slot array
+      (* static/special: pre-resolved method index, receiver, args *)
+  | Rcall_virtual of slot option * int * slot * slot array
+      (* vtable dispatch: method-name id, receiver, args *)
+  | Rinstance_of of slot * slot * rtest
+  | Rcast of slot * slot * rtest
+  | Rmonitor_enter of slot
+  | Rmonitor_exit of slot
+  | Riter_start
+  | Riter_end
+  | Rrun_thread of operand
+  | Rintrinsic of slot option * intrinsic * operand array
+  | Rerror of string
+      (* A reference the linker could not resolve (unknown method, static,
+         intrinsic, arity mismatch). Raises only if actually executed, so
+         lowering preserves the lazy failure semantics of the name-based
+         interpreter. *)
+
+type term =
+  | Rret_void
+  | Rret of slot
+  | Rjump of int
+  | Rbranch of slot * int * int
+
+type block = {
+  code : instr array;
+  term : term;
+}
+
+type meth = {
+  m_cls : string;   (* declaring class, for error messages *)
+  m_name : string;
+  m_has_this : bool;
+  m_nparams : int;             (* declared parameter count, without this *)
+  m_frame : Value.t array;     (* frame template: slot defaults, length = slot count *)
+  m_body : block array;        (* empty = abstract *)
+}
+
+type rfield = {
+  f_name : string;
+  f_ty : Jtype.t;
+}
+
+type cls = {
+  c_name : string;
+  c_fields : rfield array;           (* canonical layout, super fields first *)
+  c_defaults : Value.t array;        (* field default template *)
+  c_slot_of_fid : int array;         (* global field-name id -> slot, -1 absent *)
+  c_vtable : int array;              (* global method-name id -> method index, -1 absent *)
+  c_java_bytes : int;                (* heap footprint of one instance *)
+  c_is_data : bool;                  (* object mode: classified as data *)
+  c_tid : int;                       (* facade mode: layout type id, -1 if none *)
+  c_data_bytes : int;                (* facade mode: record payload bytes *)
+  c_conv : (Facade_compiler.Layout.field_slot * int) array;
+      (* facade mode: layout slot paired with the object field slot of the
+         same name (-1 when the heap class lacks it) — drives the
+         reflection-style convertFrom/convertTo without name lookups *)
+}
+
+type program = {
+  src : Program.t;                   (* for slow paths (array subtyping) *)
+  classes : cls array;
+  cid_of_name : (string, int) Hashtbl.t;  (* link- and conversion-time only *)
+  methods : meth array;
+  method_names : string array;       (* method-name id -> name *)
+  field_names : string array;        (* field-name id -> name *)
+  global_names : (string * string) array;  (* gid -> (class, field) *)
+  globals_init : Value.t array;
+  entry : int;                       (* method index of the entry point, -1 absent *)
+  string_cid : int;                  (* cid of java.lang.String, -1 absent *)
+  run_mid : int;                     (* method-name id of "run", -1 absent *)
+  (* Facade-mode tables, all empty in object mode. Indexed by layout type
+     id. *)
+  data_cid_of_tid : int array;       (* record tid -> original data class cid *)
+  facade_cid_of_tid : int array;     (* record tid -> $Facade class cid *)
+  elem_ty_of_tid : Jtype.t option array;  (* array tid -> element type *)
+  elem_bytes_of_tid : int array;     (* array tid -> on-page element width *)
+  tid_is_array : bool array;
+  tid_cast_ok : bool array;          (* actual * n_tids + target, flattened *)
+  n_tids : int;
+}
+
+let n_classes p = Array.length p.classes
+
+(* Instruction-mix category (the [Exec_stats.cat_] constants), used by the
+   interpreter's per-step accounting. *)
+let category = function
+  | Rconst _ -> Exec_stats.cat_const
+  | Rmove _ -> Exec_stats.cat_move
+  | Rbinop _ | Rneg _ | Rnot _ -> Exec_stats.cat_arith
+  | Rnew _ | Rnew_array _ -> Exec_stats.cat_alloc
+  | Rfield_load _ | Rfield_store _ -> Exec_stats.cat_field
+  | Rstatic_load _ | Rstatic_store _ -> Exec_stats.cat_static
+  | Rarray_load _ | Rarray_store _ | Rarray_length _ -> Exec_stats.cat_array
+  | Rcall _ | Rcall_virtual _ -> Exec_stats.cat_call
+  | Rinstance_of _ | Rcast _ -> Exec_stats.cat_typetest
+  | Rmonitor_enter _ | Rmonitor_exit _ -> Exec_stats.cat_monitor
+  | Riter_start | Riter_end -> Exec_stats.cat_iter
+  | Rintrinsic _ | Rrun_thread _ -> Exec_stats.cat_intrinsic
+  | Rerror _ -> Exec_stats.cat_other

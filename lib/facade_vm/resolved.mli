@@ -1,0 +1,162 @@
+(** The resolved execution form: jir lowered to what the interpreter's
+    hot loop actually needs. Names are interned to dense integer ids by
+    {!Link}, method bodies become instruction arrays over slot-indexed
+    frames, and per-class tables (vtables, field layouts, type-test
+    outcomes, allocation sizes) are precomputed so that nothing on the
+    per-instruction path looks up a string. *)
+
+open Jir
+
+type slot = int
+(** An index into a frame's value array. *)
+
+(** Access width of an [rt.get_*]/[set_*]/[aget_*]/[aset_*] intrinsic,
+    parsed from the name suffix once at link time. *)
+type acc = A_i8 | A_i16 | A_i32 | A_i64 | A_f32 | A_f64
+
+(** The closed intrinsic set, pre-bound from the
+    [rt.*]/[pool.*]/[facade.*]/[lock.*]/[convert.*]/[sys.*] names the
+    compiler emits. *)
+type intrinsic =
+  | I_alloc
+  | I_alloc_array
+  | I_alloc_array_oversize
+  | I_free_oversize
+  | I_array_length
+  | I_type_id
+  | I_is_type
+  | I_checkcast
+  | I_string_literal
+  | I_pool_param
+  | I_pool_receiver
+  | I_pool_resolve
+  | I_facade_bind
+  | I_facade_read
+  | I_lock_enter
+  | I_lock_exit
+  | I_convert_from
+  | I_convert_to
+  | I_print
+  | I_current_thread
+  | I_arraycopy
+  | I_get of acc
+  | I_set of acc
+  | I_aget of acc
+  | I_aset of acc
+
+type operand = Oslot of slot | Oconst of Value.t
+
+(** A type test with its per-class outcome precomputed:
+    [t_cid_ok.(cid)] answers instanceof for any object or facade of
+    linked class [cid]. Arrays fall back to the structural check on
+    [t_ty]. *)
+type rtest = {
+  t_ty : Jtype.t;
+  t_cid_ok : bool array;
+  t_is_string : bool;
+}
+
+(** Allocation site of an array, fully sized at link time. *)
+type newarr = {
+  na_ety : Jtype.t;
+  na_default : Value.t;
+  na_elem_bytes : int;
+  na_is_data : bool;
+  na_cls : string;
+}
+
+type instr =
+  | Rconst of slot * Value.t
+  | Rmove of slot * slot
+  | Rbinop of slot * Ir.binop * slot * slot
+  | Rneg of slot * slot
+  | Rnot of slot * slot
+  | Rnew of slot * int  (** dst, cid *)
+  | Rnew_array of slot * newarr * slot  (** dst, site, length slot *)
+  | Rfield_load of slot * slot * int  (** dst, obj, fid *)
+  | Rfield_store of slot * int * slot  (** obj, fid, src *)
+  | Rstatic_load of slot * int  (** dst, gid *)
+  | Rstatic_store of int * slot
+  | Rarray_load of slot * slot * slot
+  | Rarray_store of slot * slot * slot
+  | Rarray_length of slot * slot
+  | Rcall of slot option * int * slot option * slot array
+      (** static/special: pre-resolved method index, receiver, args *)
+  | Rcall_virtual of slot option * int * slot * slot array
+      (** vtable dispatch: method-name id, receiver, args *)
+  | Rinstance_of of slot * slot * rtest
+  | Rcast of slot * slot * rtest
+  | Rmonitor_enter of slot
+  | Rmonitor_exit of slot
+  | Riter_start
+  | Riter_end
+  | Rrun_thread of operand
+  | Rintrinsic of slot option * intrinsic * operand array
+  | Rerror of string
+      (** A reference the linker could not resolve (unknown method,
+          static, intrinsic, arity mismatch). Raises only if actually
+          executed, preserving the lazy failure semantics of the
+          name-based interpreter. *)
+
+type term =
+  | Rret_void
+  | Rret of slot
+  | Rjump of int
+  | Rbranch of slot * int * int
+
+type block = { code : instr array; term : term }
+
+type meth = {
+  m_cls : string;  (** declaring class, for error messages *)
+  m_name : string;
+  m_has_this : bool;
+  m_nparams : int;  (** declared parameter count, without [this] *)
+  m_frame : Value.t array;
+      (** frame template ([Array.copy] per call): slot defaults *)
+  m_body : block array;  (** empty = abstract *)
+}
+
+type rfield = { f_name : string; f_ty : Jtype.t }
+
+type cls = {
+  c_name : string;
+  c_fields : rfield array;  (** canonical layout, super fields first *)
+  c_defaults : Value.t array;  (** field default template *)
+  c_slot_of_fid : int array;  (** field-name id -> slot, [-1] absent *)
+  c_vtable : int array;  (** method-name id -> method index, [-1] absent *)
+  c_java_bytes : int;  (** heap footprint of one instance *)
+  c_is_data : bool;  (** object mode: classified as data *)
+  c_tid : int;  (** facade mode: layout type id, [-1] if none *)
+  c_data_bytes : int;  (** facade mode: record payload bytes *)
+  c_conv : (Facade_compiler.Layout.field_slot * int) array;
+      (** facade mode: layout slot paired with the object-field slot of
+          the same name ([-1] when the heap class lacks it) — drives
+          convertFrom/convertTo without name lookups *)
+}
+
+type program = {
+  src : Program.t;  (** for slow paths (array subtyping) *)
+  classes : cls array;
+  cid_of_name : (string, int) Hashtbl.t;
+      (** link- and conversion-time only; never on the instruction path *)
+  methods : meth array;
+  method_names : string array;
+  field_names : string array;
+  global_names : (string * string) array;  (** gid -> (class, field) *)
+  globals_init : Value.t array;
+  entry : int;  (** method index of the entry point, [-1] absent *)
+  string_cid : int;
+  run_mid : int;  (** method-name id of ["run"], [-1] absent *)
+  data_cid_of_tid : int array;
+  facade_cid_of_tid : int array;
+  elem_ty_of_tid : Jtype.t option array;
+  elem_bytes_of_tid : int array;
+  tid_is_array : bool array;
+  tid_cast_ok : bool array;  (** [actual * n_tids + target], flattened *)
+  n_tids : int;
+}
+
+val n_classes : program -> int
+
+val category : instr -> int
+(** Instruction-mix category ({!Exec_stats.cat_const} etc.). *)

@@ -1,6 +1,7 @@
 type obj = {
   ocls : string;
-  fields : (string, t) Hashtbl.t;
+  ocid : int;
+  fields : t array;
   oid : int;
 }
 

@@ -9,7 +9,8 @@
 
 type obj = {
   ocls : string;
-  fields : (string, t) Hashtbl.t;
+  ocid : int;   (** class id in the linked program; [-1] outside one *)
+  fields : t array;  (** canonical slot order: superclass fields first *)
   oid : int;  (** identity, for [==] *)
 }
 

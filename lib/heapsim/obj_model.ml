@@ -1,6 +1,7 @@
 let object_header_bytes = 12
 let array_header_bytes = 16
 let reference_bytes = 4
+let page_wrapper_bytes = 48
 
 let align n = (n + 7) land lnot 7
 

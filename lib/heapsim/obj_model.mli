@@ -13,6 +13,11 @@ val array_header_bytes : int
 val reference_bytes : int
 (** 4 — compressed oops. *)
 
+val page_wrapper_bytes : int
+(** 48 — the control-heap wrapper object the runtime keeps per native
+    page (header, native pointer, bump cursor, free list, thread owner).
+    Charged once per page the store creates. *)
+
 val align : int -> int
 (** Round a size up to the JVM's 8-byte object alignment. *)
 

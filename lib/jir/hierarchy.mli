@@ -26,6 +26,13 @@ val all_instance_fields : Program.t -> string -> (string * Ir.field) list
 val resolve_method : Program.t -> cls:string -> name:string -> Ir.meth option
 (** Walk [cls] then its super chain for a concrete method named [name]. *)
 
+val method_table : Program.t -> string -> (string * Ir.meth) list
+(** The resolved method set of [c]: one entry per method name visible on
+    [c], each the most-derived implementation, paired with its declaring
+    class. Names appear in first-declaration order, roots first, so a
+    subclass's table extends its superclass's — the property vtable
+    construction in the VM's linker relies on. *)
+
 val concrete_subtype : Program.t -> string -> string option
 (** An arbitrary concrete class implementing/extending the given (possibly
     abstract/interface) type — paper §3.3 uses this to attribute

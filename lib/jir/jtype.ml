@@ -42,4 +42,20 @@ let rec to_string = function
   | Ref c -> c
   | Array t -> to_string t ^ "[]"
 
+let rec of_name name =
+  let n = String.length name in
+  if n > 2 && String.equal (String.sub name (n - 2) 2) "[]" then
+    Array (of_name (String.sub name 0 (n - 2)))
+  else
+    match name with
+    | "boolean" -> Prim Bool
+    | "byte" -> Prim Byte
+    | "char" -> Prim Char
+    | "short" -> Prim Short
+    | "int" -> Prim Int
+    | "long" -> Prim Long
+    | "float" -> Prim Float
+    | "double" -> Prim Double
+    | c -> Ref c
+
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -25,3 +25,7 @@ val prim_page_bytes : prim -> int
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val of_name : string -> t
+(** Inverse of {!to_string}: primitive keywords map to [Prim], a trailing
+    ["[]"] per array dimension to [Array], anything else to [Ref]. *)

@@ -282,21 +282,9 @@ let eat_sym cur s =
       true
   | _ -> false
 
-let base_type_of_name name =
-  match name with
-  | "boolean" -> Jtype.Prim Jtype.Bool
-  | "byte" -> Jtype.Prim Jtype.Byte
-  | "char" -> Jtype.Prim Jtype.Char
-  | "short" -> Jtype.Prim Jtype.Short
-  | "int" -> Jtype.Prim Jtype.Int
-  | "long" -> Jtype.Prim Jtype.Long
-  | "float" -> Jtype.Prim Jtype.Float
-  | "double" -> Jtype.Prim Jtype.Double
-  | c -> Jtype.Ref c
-
 let parse_type cur =
   let name = expect_id cur in
-  let ty = ref (base_type_of_name name) in
+  let ty = ref (Jtype.of_name name) in
   while eat_sym cur "[" do
     expect_sym cur "]";
     ty := Jtype.Array !ty
@@ -421,7 +409,7 @@ let parse_rhs cur dst =
       (* [new C] | [new T[n]] | [new T[][n]] (nested element types): a
          '[' immediately followed by ']' extends the element type; a '['
          followed by a variable is the length. *)
-      let ty = ref (base_type_of_name (expect_id cur)) in
+      let ty = ref (Jtype.of_name (expect_id cur)) in
       let result = ref None in
       while !result = None && eat_sym cur "[" do
         if eat_sym cur "]" then ty := Jtype.Array !ty

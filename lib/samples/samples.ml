@@ -1361,11 +1361,176 @@ let deep_conversion =
     expected = Some (Ir.Cint 47);  (* 10 + 20 + 10 (cycle) + 7 *)
   }
 
+(* ---------- pagerank: the paper's GraphChi workload in miniature ---------- *)
+
+let pagerank_sized ~n ~iters =
+  let deg = 4 in
+  let vertex =
+    B.cls "Vertex"
+      ~fields:
+        [ B.field "rank" double_t; B.field "accum" double_t; B.field "outdeg" int_t ]
+      ~methods:[ empty_init () ]
+  in
+  let main =
+    let m = B.create ~static:true "main" ~ret:double_t in
+    List.iter
+      (fun (v, t) -> B.declare m v t)
+      [
+        ("i", int_t); ("j", int_t); ("e", int_t); ("k", int_t); ("dst", int_t);
+        ("s", int_t); ("round", int_t); ("cond", int_t); ("one", int_t);
+        ("nv", int_t); ("nd", int_t); ("degv", int_t); ("iters", int_t);
+        ("lcg_a", int_t); ("lcg_c", int_t); ("lcg_m", int_t); ("d", int_t);
+        ("verts", Jtype.Array (Jtype.Ref "Vertex"));
+        ("edges", Jtype.Array int_t);
+        ("v", Jtype.Ref "Vertex"); ("w", Jtype.Ref "Vertex");
+        ("zero_f", double_t); ("inv_n", double_t); ("base", double_t);
+        ("damp", double_t); ("share", double_t); ("a", double_t);
+        ("r2", double_t); ("sum", double_t);
+      ];
+    let b0 = B.entry m in
+    let b_ic = B.block m in   (* init loop: cond / body / per-vertex edges / next *)
+    let b_ib = B.block m in
+    let b_ec = B.block m in
+    let b_eb = B.block m in
+    let b_in = B.block m in
+    let b_rc = B.block m in   (* superstep loop *)
+    let b_rb = B.block m in
+    let b_zc = B.block m in   (* zero the accumulators *)
+    let b_zb = B.block m in
+    let b_sp = B.block m in   (* scatter rank/outdeg along each edge *)
+    let b_sc = B.block m in
+    let b_sb = B.block m in
+    let b_sec = B.block m in
+    let b_seb = B.block m in
+    let b_sn = B.block m in
+    let b_gp = B.block m in   (* gather: rank = base + damp * accum *)
+    let b_gc = B.block m in
+    let b_gb = B.block m in
+    let b_re = B.block m in
+    let b_su = B.block m in   (* checksum: sum of final ranks *)
+    let b_suc = B.block m in
+    let b_sub = B.block m in
+    let b_end = B.block m in
+    B.const_i b0 "nv" n;
+    B.const_i b0 "degv" deg;
+    B.const_i b0 "iters" iters;
+    B.const_i b0 "one" 1;
+    B.const_i b0 "round" 0;
+    B.const_i b0 "s" 1;
+    B.const_i b0 "lcg_a" 1103515245;
+    B.const_i b0 "lcg_c" 12345;
+    B.const_i b0 "lcg_m" 1073741824;
+    B.const_f b0 "zero_f" 0.0;
+    B.const_f b0 "inv_n" (1.0 /. float_of_int n);
+    B.const_f b0 "base" (0.15 /. float_of_int n);
+    B.const_f b0 "damp" 0.85;
+    B.binop b0 "nd" Ir.Mul "nv" "degv";
+    B.new_array b0 "verts" (Jtype.Ref "Vertex") ~len:"nv";
+    B.new_array b0 "edges" int_t ~len:"nd";
+    B.const_i b0 "i" 0;
+    B.jump b0 b_ic;
+    (* One vertex per pass, plus its [deg] out-edges from a little LCG
+       (kept under 2^30 so products stay exact). *)
+    B.binop b_ic "cond" Ir.Lt "i" "nv";
+    B.branch b_ic "cond" ~then_:b_ib ~else_:b_rc;
+    B.new_obj b_ib "v" "Vertex";
+    B.call b_ib ~recv:"v" ~kind:Ir.Special ~cls:"Vertex" ~name:ctor_name [];
+    B.fstore b_ib ~obj:"v" ~field:"rank" ~src:"inv_n";
+    B.fstore b_ib ~obj:"v" ~field:"accum" ~src:"zero_f";
+    B.fstore b_ib ~obj:"v" ~field:"outdeg" ~src:"degv";
+    B.astore b_ib ~arr:"verts" ~idx:"i" ~src:"v";
+    B.const_i b_ib "e" 0;
+    B.jump b_ib b_ec;
+    B.binop b_ec "cond" Ir.Lt "e" "degv";
+    B.branch b_ec "cond" ~then_:b_eb ~else_:b_in;
+    B.binop b_eb "s" Ir.Mul "s" "lcg_a";
+    B.binop b_eb "s" Ir.Add "s" "lcg_c";
+    B.binop b_eb "s" Ir.Rem "s" "lcg_m";
+    B.binop b_eb "dst" Ir.Rem "s" "nv";
+    B.binop b_eb "k" Ir.Mul "i" "degv";
+    B.binop b_eb "k" Ir.Add "k" "e";
+    B.astore b_eb ~arr:"edges" ~idx:"k" ~src:"dst";
+    B.binop b_eb "e" Ir.Add "e" "one";
+    B.jump b_eb b_ec;
+    B.binop b_in "i" Ir.Add "i" "one";
+    B.jump b_in b_ic;
+    (* Each superstep is one iteration frame, GraphChi-style. *)
+    B.binop b_rc "cond" Ir.Lt "round" "iters";
+    B.branch b_rc "cond" ~then_:b_rb ~else_:b_su;
+    B.iter_start b_rb;
+    B.const_i b_rb "j" 0;
+    B.jump b_rb b_zc;
+    B.binop b_zc "cond" Ir.Lt "j" "nv";
+    B.branch b_zc "cond" ~then_:b_zb ~else_:b_sp;
+    B.aload b_zb ~dst:"w" ~arr:"verts" ~idx:"j";
+    B.fstore b_zb ~obj:"w" ~field:"accum" ~src:"zero_f";
+    B.binop b_zb "j" Ir.Add "j" "one";
+    B.jump b_zb b_zc;
+    B.const_i b_sp "i" 0;
+    B.jump b_sp b_sc;
+    B.binop b_sc "cond" Ir.Lt "i" "nv";
+    B.branch b_sc "cond" ~then_:b_sb ~else_:b_gp;
+    B.aload b_sb ~dst:"v" ~arr:"verts" ~idx:"i";
+    B.fload b_sb ~dst:"share" ~obj:"v" ~field:"rank";
+    B.fload b_sb ~dst:"d" ~obj:"v" ~field:"outdeg";
+    B.binop b_sb "share" Ir.Div "share" "d";
+    B.const_i b_sb "e" 0;
+    B.jump b_sb b_sec;
+    B.binop b_sec "cond" Ir.Lt "e" "degv";
+    B.branch b_sec "cond" ~then_:b_seb ~else_:b_sn;
+    B.binop b_seb "k" Ir.Mul "i" "degv";
+    B.binop b_seb "k" Ir.Add "k" "e";
+    B.aload b_seb ~dst:"dst" ~arr:"edges" ~idx:"k";
+    B.aload b_seb ~dst:"w" ~arr:"verts" ~idx:"dst";
+    B.fload b_seb ~dst:"a" ~obj:"w" ~field:"accum";
+    B.binop b_seb "a" Ir.Add "a" "share";
+    B.fstore b_seb ~obj:"w" ~field:"accum" ~src:"a";
+    B.binop b_seb "e" Ir.Add "e" "one";
+    B.jump b_seb b_sec;
+    B.binop b_sn "i" Ir.Add "i" "one";
+    B.jump b_sn b_sc;
+    B.const_i b_gp "j" 0;
+    B.jump b_gp b_gc;
+    B.binop b_gc "cond" Ir.Lt "j" "nv";
+    B.branch b_gc "cond" ~then_:b_gb ~else_:b_re;
+    B.aload b_gb ~dst:"w" ~arr:"verts" ~idx:"j";
+    B.fload b_gb ~dst:"a" ~obj:"w" ~field:"accum";
+    B.binop b_gb "r2" Ir.Mul "damp" "a";
+    B.binop b_gb "r2" Ir.Add "base" "r2";
+    B.fstore b_gb ~obj:"w" ~field:"rank" ~src:"r2";
+    B.binop b_gb "j" Ir.Add "j" "one";
+    B.jump b_gb b_gc;
+    B.iter_end b_re;
+    B.binop b_re "round" Ir.Add "round" "one";
+    B.jump b_re b_rc;
+    B.const_f b_su "sum" 0.0;
+    B.const_i b_su "j" 0;
+    B.jump b_su b_suc;
+    B.binop b_suc "cond" Ir.Lt "j" "nv";
+    B.branch b_suc "cond" ~then_:b_sub ~else_:b_end;
+    B.aload b_sub ~dst:"w" ~arr:"verts" ~idx:"j";
+    B.fload b_sub ~dst:"a" ~obj:"w" ~field:"rank";
+    B.binop b_sub "sum" Ir.Add "sum" "a";
+    B.binop b_sub "j" Ir.Add "j" "one";
+    B.jump b_sub b_suc;
+    B.add b_end (Ir.Intrinsic (None, Facade_compiler.Rt_names.print, [ Ir.Var "sum" ]));
+    B.ret b_end (Some "sum");
+    B.finish m
+  in
+  {
+    name = "pagerank";
+    program = Program.make ~entry:("Main", "main") [ vertex; B.cls "Main" ~methods:[ main ] ];
+    spec = spec [ "Vertex"; "Main" ];
+    expected = None;
+  }
+
+let pagerank = pagerank_sized ~n:32 ~iters:10
+
 let all =
   [
     fig2; linked_list; dispatch; prim_arrays; conversion; locking; iteration;
     statics; strings; interfaces; nested_iteration; collections; threads; boundary;
-    deep_conversion;
+    deep_conversion; pagerank;
   ]
 
 (* ---------- synthetic programs for transformation-speed benches ---------- *)

@@ -89,6 +89,15 @@ val deep_conversion : sample
     boundary in both directions: the synthesized conversion functions must
     deep-copy recursively without looping on the cycle (§3.5). *)
 
+val pagerank : sample
+(** The paper's GraphChi PageRank workload (§4.1) in miniature: a [Vertex]
+    data class, a [Vertex[]] graph with LCG-generated edges, and supersteps
+    wrapped in iteration marks. Prints and returns the rank checksum; the
+    VM benchmark's object-mode workload. *)
+
+val pagerank_sized : n:int -> iters:int -> sample
+(** [pagerank] with a chosen vertex count and superstep count. *)
+
 val all : sample list
 (** Every sample above — the equivalence test sweep. *)
 

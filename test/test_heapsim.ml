@@ -10,7 +10,9 @@ let test_obj_model () =
   Alcotest.(check int) "empty object" 16 (O.object_bytes ~field_bytes:0);
   Alcotest.(check int) "aligned" 24 (O.object_bytes ~field_bytes:10);
   Alcotest.(check int) "int array" 416 (O.array_bytes ~elem_bytes:4 ~length:100);
-  Alcotest.(check int) "align idempotent" (O.align 16) (O.align (O.align 16))
+  Alcotest.(check int) "align idempotent" (O.align 16) (O.align (O.align 16));
+  (* The VM charges this for every native page a facade program maps in. *)
+  Alcotest.(check int) "page wrapper" 48 O.page_wrapper_bytes
 
 let test_minor_gc_triggers () =
   let h = mk () in

@@ -116,6 +116,235 @@ let test_single_thread_single_pool () =
   Alcotest.(check int) "one Pools instance" (pool_instance_size pl)
     o_fac.I.facades_allocated
 
+(* ---------- resolved VM vs the name-based baseline ---------- *)
+
+(* The two interpreters must be observationally identical: same result,
+   same output, and — because lowering is 1:1 per executed instruction —
+   the same step count and allocation stats, in both modes. *)
+let check_differential (s : Samples.sample) () =
+  let pl = compile s in
+  let is_data c = Facade_compiler.Classify.is_data_class pl.P.classification c in
+  let pairs =
+    [
+      ( "object",
+        I.run_object ~is_data s.Samples.program,
+        Facade_vm.Interp_baseline.run_object ~is_data s.Samples.program );
+      ("facade", I.run_facade pl, Facade_vm.Interp_baseline.run_facade pl);
+    ]
+  in
+  List.iter
+    (fun (mode, r, b) ->
+      let tag what = Printf.sprintf "%s/%s: %s" s.Samples.name mode what in
+      Alcotest.(check bool) (tag "same result") true (value_eq r.I.result b.I.result);
+      Alcotest.(check (list string))
+        (tag "same output")
+        (Facade_vm.Exec_stats.output_lines b.I.stats)
+        (Facade_vm.Exec_stats.output_lines r.I.stats);
+      Alcotest.(check int)
+        (tag "same steps") b.I.stats.Facade_vm.Exec_stats.steps
+        r.I.stats.Facade_vm.Exec_stats.steps;
+      Alcotest.(check int)
+        (tag "same heap objects") b.I.stats.Facade_vm.Exec_stats.heap_objects
+        r.I.stats.Facade_vm.Exec_stats.heap_objects;
+      Alcotest.(check int)
+        (tag "same data objects") b.I.stats.Facade_vm.Exec_stats.data_objects
+        r.I.stats.Facade_vm.Exec_stats.data_objects;
+      Alcotest.(check int)
+        (tag "same page records") b.I.stats.Facade_vm.Exec_stats.page_records
+        r.I.stats.Facade_vm.Exec_stats.page_records)
+    pairs
+
+let differential_cases =
+  List.map
+    (fun s ->
+      Alcotest.test_case ("baseline agrees " ^ s.Samples.name) `Quick
+        (check_differential s))
+    Samples.all
+
+(* ---------- resolved-layer regression programs ---------- *)
+
+module B = Jir.Builder
+module Ir = Jir.Ir
+
+let int_t = Jir.Jtype.Prim Jir.Jtype.Int
+let ctor = Facade_compiler.Transform.constructor_name
+
+let empty_init () =
+  let m = B.create ctor in
+  B.ret (B.entry m) None;
+  B.finish m
+
+(* Run a program through both interpreters in both modes and require the
+   same result everywhere; returns the object-mode result. *)
+let run_everywhere ?max_steps ~roots program =
+  Jir.Verify.check_or_fail program;
+  let spec = { Facade_compiler.Classify.data_roots = roots; boundary = [] } in
+  let pl = P.compile ~spec program in
+  let is_data c = Facade_compiler.Classify.is_data_class pl.P.classification c in
+  let o1 = I.run_object ?max_steps ~is_data program in
+  let o2 = Facade_vm.Interp_baseline.run_object ?max_steps ~is_data program in
+  let o3 = I.run_facade ?max_steps pl in
+  let o4 = Facade_vm.Interp_baseline.run_facade ?max_steps pl in
+  List.iter
+    (fun (what, o) ->
+      Alcotest.(check bool) (what ^ " agrees with resolved object mode") true
+        (value_eq o1.I.result o.I.result))
+    [ ("baseline object", o2); ("resolved facade", o3); ("baseline facade", o4) ];
+  o1.I.result
+
+let const_meth name value =
+  let m = B.create name ~ret:int_t in
+  let b = B.entry m in
+  let v = B.fresh m int_t in
+  B.const_i b v value;
+  B.ret b (Some v);
+  B.finish m
+
+(* A three-level data hierarchy: B inherits f from A, C overrides it, and
+   g resolves through two super links — the vtable cases. *)
+let test_deep_hierarchy () =
+  let a = B.cls "A" ~methods:[ empty_init (); const_meth "f" 1; const_meth "g" 10 ] in
+  let bc = B.cls "B" ~super:"A" ~methods:[ empty_init () ] in
+  let c = B.cls "C" ~super:"B" ~methods:[ empty_init (); const_meth "f" 3 ] in
+  let main =
+    let m = B.create ~static:true "main" ~ret:int_t in
+    let b = B.entry m in
+    let xb = B.fresh m (Jir.Jtype.Ref "A") in
+    let xc = B.fresh m (Jir.Jtype.Ref "A") in
+    let r1 = B.fresh m int_t in
+    let r2 = B.fresh m int_t in
+    let r3 = B.fresh m int_t in
+    let acc = B.fresh m int_t in
+    B.new_obj b xb "B";
+    B.call b ~recv:xb ~kind:Ir.Special ~cls:"B" ~name:ctor [];
+    B.new_obj b xc "C";
+    B.call b ~recv:xc ~kind:Ir.Special ~cls:"C" ~name:ctor [];
+    B.call b ~ret:r1 ~recv:xb ~kind:Ir.Virtual ~cls:"A" ~name:"f" [];
+    B.call b ~ret:r2 ~recv:xc ~kind:Ir.Virtual ~cls:"A" ~name:"f" [];
+    B.call b ~ret:r3 ~recv:xc ~kind:Ir.Virtual ~cls:"A" ~name:"g" [];
+    B.binop b acc Ir.Add r1 r2;
+    B.binop b acc Ir.Add acc r3;
+    B.ret b (Some acc);
+    B.finish m
+  in
+  let program =
+    Jir.Program.make ~entry:("Main", "main") [ a; bc; c; B.cls "Main" ~methods:[ main ] ]
+  in
+  let r = run_everywhere ~roots:[ "A"; "Main" ] program in
+  Alcotest.(check bool) "1 + 3 + 10" true
+    (value_eq (Some (Facade_vm.Value.of_const (Ir.Cint 14))) r)
+
+(* A literal survives a round trip through a data field and across the
+   control/data boundary with its identity intact (literal interning). *)
+let test_string_interning_roundtrip () =
+  let string_t = Jir.Jtype.Ref Jir.Jtype.string_class in
+  let holder =
+    B.cls "Holder" ~fields:[ B.field "s" string_t ] ~methods:[ empty_init () ]
+  in
+  let keeper =
+    B.cls "Keeper"
+      ~fields:[ B.field "kept" (Jir.Jtype.Ref "Holder") ]
+      ~methods:[ empty_init () ]
+  in
+  let main =
+    let m = B.create ~static:true "main" ~ret:int_t in
+    let b = B.entry m in
+    let h = B.fresh m (Jir.Jtype.Ref "Holder") in
+    let k = B.fresh m (Jir.Jtype.Ref "Keeper") in
+    let h2 = B.fresh m (Jir.Jtype.Ref "Holder") in
+    let s = B.fresh m string_t in
+    let s2 = B.fresh m string_t in
+    let s3 = B.fresh m string_t in
+    let eq = B.fresh m int_t in
+    B.new_obj b h "Holder";
+    B.call b ~recv:h ~kind:Ir.Special ~cls:"Holder" ~name:ctor [];
+    B.add b (Ir.Const (s, Ir.Cstr "interned"));
+    B.fstore b ~obj:h ~field:"s" ~src:s;
+    B.new_obj b k "Keeper";
+    B.call b ~recv:k ~kind:Ir.Special ~cls:"Keeper" ~name:ctor [];
+    (* Into the control path and back: convertTo / convertFrom in P'. *)
+    B.fstore b ~obj:k ~field:"kept" ~src:h;
+    B.fload b ~dst:h2 ~obj:k ~field:"kept";
+    B.fload b ~dst:s2 ~obj:h2 ~field:"s";
+    B.add b (Ir.Const (s3, Ir.Cstr "interned"));
+    B.binop b eq Ir.Eq s2 s3;
+    B.ret b (Some eq);
+    B.finish m
+  in
+  let program =
+    Jir.Program.make ~entry:("Main", "main")
+      [ holder; keeper; B.cls "Main" ~methods:[ main ] ]
+  in
+  let r = run_everywhere ~roots:[ "Holder"; "Main" ] program in
+  Alcotest.(check bool) "identity preserved" true
+    (value_eq (Some (Facade_vm.Value.of_const (Ir.Cint 1))) r)
+
+let infinite_loop_program () =
+  let main =
+    let m = B.create ~static:true "main" ~ret:int_t in
+    B.declare m "x" int_t;
+    B.declare m "one" int_t;
+    let b0 = B.entry m in
+    let b1 = B.block m in
+    B.const_i b0 "x" 0;
+    B.const_i b0 "one" 1;
+    B.jump b0 b1;
+    B.binop b1 "x" Ir.Add "x" "one";
+    B.jump b1 b1;
+    B.finish m
+  in
+  Jir.Program.make ~entry:("Main", "main") [ B.cls "Main" ~methods:[ main ] ]
+
+(* Budget exhaustion must be the same Vm_error in every configuration. *)
+let test_max_steps_exhaustion () =
+  let program = infinite_loop_program () in
+  let spec = { Facade_compiler.Classify.data_roots = [ "Main" ]; boundary = [] } in
+  let pl = P.compile ~spec program in
+  let budget = I.Vm_error "step budget exceeded" in
+  Alcotest.check_raises "resolved object" budget (fun () ->
+      ignore (I.run_object ~max_steps:1_000 program));
+  Alcotest.check_raises "baseline object" budget (fun () ->
+      ignore (Facade_vm.Interp_baseline.run_object ~max_steps:1_000 program));
+  Alcotest.check_raises "resolved facade" budget (fun () ->
+      ignore (I.run_facade ~max_steps:1_000 pl));
+  Alcotest.check_raises "baseline facade" budget (fun () ->
+      ignore (Facade_vm.Interp_baseline.run_facade ~max_steps:1_000 pl))
+
+let arith_by_zero_program op =
+  let main =
+    let m = B.create ~static:true "main" ~ret:int_t in
+    let b = B.entry m in
+    let x = B.fresh m int_t in
+    let z = B.fresh m int_t in
+    let r = B.fresh m int_t in
+    B.const_i b x 7;
+    B.const_i b z 0;
+    B.binop b r op x z;
+    B.ret b (Some r);
+    B.finish m
+  in
+  Jir.Program.make ~entry:("Main", "main") [ B.cls "Main" ~methods:[ main ] ]
+
+let test_arith_by_zero () =
+  List.iter
+    (fun (op, msg) ->
+      let program = arith_by_zero_program op in
+      let spec = { Facade_compiler.Classify.data_roots = [ "Main" ]; boundary = [] } in
+      let pl = P.compile ~spec program in
+      let exn = I.Vm_error msg in
+      Alcotest.check_raises (msg ^ " resolved object") exn (fun () ->
+          ignore (I.run_object program));
+      Alcotest.check_raises (msg ^ " baseline object") exn (fun () ->
+          ignore (Facade_vm.Interp_baseline.run_object program));
+      Alcotest.check_raises (msg ^ " resolved facade") exn (fun () ->
+          ignore (I.run_facade pl));
+      Alcotest.check_raises (msg ^ " baseline facade") exn (fun () ->
+          ignore (Facade_vm.Interp_baseline.run_facade pl)))
+    [
+      (Ir.Div, "ArithmeticException: / by zero");
+      (Ir.Rem, "ArithmeticException: % by zero");
+    ]
+
 let equivalence_cases =
   List.map
     (fun s -> Alcotest.test_case ("equiv " ^ s.Samples.name) `Quick (check_equivalence s))
@@ -131,6 +360,15 @@ let () =
   Alcotest.run "facade_vm"
     [
       ("equivalence", equivalence_cases);
+      ("baseline-differential", differential_cases);
+      ( "resolved-layer",
+        [
+          Alcotest.test_case "deep hierarchy dispatch" `Quick test_deep_hierarchy;
+          Alcotest.test_case "string interning round trip" `Quick
+            test_string_interning_roundtrip;
+          Alcotest.test_case "step budget exhaustion" `Quick test_max_steps_exhaustion;
+          Alcotest.test_case "div and rem by zero" `Quick test_arith_by_zero;
+        ] );
       ("transformed-verifies", verify_cases);
       ( "object-bounds",
         [
