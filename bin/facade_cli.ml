@@ -3,6 +3,7 @@
    facade_cli experiments [NAME] [--quick]  - reproduce the paper's tables/figures
    facade_cli samples                       - list the bundled jir sample programs
    facade_cli demo NAME                     - transform + run a sample in both modes
+   facade_cli run NAME [--workers N]        - run a sample's P' on a domain pool
    facade_cli inspect NAME [--original]     - pretty-print a sample (P' by default)
    facade_cli check FILE [--json]           - verify + flow-sensitive analyses
    facade_cli lint FILE [--data ...]        - full FACADE invariant lint *)
@@ -102,6 +103,58 @@ let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Transform a sample and run P and P' in the VM.")
     Term.(ret (const run $ sample_arg))
+
+(* ---------- run (facade mode, optional domain pool) ---------- *)
+
+let run_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Execute spawned threads on a pool of $(docv) OCaml domains \
+             (work-stealing scheduler). Without it, the sequential engine runs.")
+  in
+  let run name workers =
+    match find_sample name with
+    | None -> `Error (true, "unknown sample " ^ name)
+    | Some s -> (
+        match workers with
+        | Some n when n < 1 -> `Error (true, "--workers must be >= 1")
+        | _ ->
+            let pl =
+              Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program
+            in
+            let t0 = Unix.gettimeofday () in
+            let o = Facade_vm.Interp.run_facade ?workers pl in
+            let wall = Unix.gettimeofday () -. t0 in
+            let result =
+              match o.Facade_vm.Interp.result with
+              | Some x -> Facade_vm.Value.to_string x
+              | None -> "-"
+            in
+            Printf.printf "result=%s  wall=%.4fs  workers=%s\n" result wall
+              (match workers with Some n -> string_of_int n | None -> "sequential");
+            Printf.printf
+              "steps=%d  page records=%d  facades=%d  locks peak=%d\n"
+              o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.steps
+              o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.page_records
+              o.Facade_vm.Interp.facades_allocated o.Facade_vm.Interp.locks_peak;
+            (match o.Facade_vm.Interp.store_stats with
+            | Some st ->
+                Printf.printf "store: %d records, %d pages created, %d live\n"
+                  st.Pagestore.Store.records_allocated
+                  st.Pagestore.Store.pages_created st.Pagestore.Store.live_pages
+            | None -> ());
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Transform a sample and execute P' in facade mode, optionally running \
+          its threads in parallel on real OCaml domains.")
+    Term.(ret (const run $ sample_arg $ workers))
 
 (* ---------- inspect ---------- *)
 
@@ -334,6 +387,7 @@ let () =
             experiments_cmd;
             samples_cmd;
             demo_cmd;
+            run_cmd;
             inspect_cmd;
             transform_cmd;
             check_cmd;

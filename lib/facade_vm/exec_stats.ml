@@ -59,6 +59,53 @@ let note_pool_use t ~type_id ~index =
   let m = Option.value ~default:(-1) (Hashtbl.find_opt t.max_pool_index type_id) in
   if index > m then Hashtbl.replace t.max_pool_index type_id index
 
+let zero t =
+  t.heap_objects <- 0;
+  t.data_objects <- 0;
+  t.page_records <- 0;
+  Hashtbl.reset t.by_class;
+  Hashtbl.reset t.max_pool_index;
+  t.steps <- 0;
+  t.output <- [];
+  t.static_dispatches <- 0;
+  t.virtual_dispatches <- 0;
+  t.intrinsic_dispatches <- 0;
+  Array.fill t.mix 0 (Array.length t.mix) 0
+
+let copy t =
+  {
+    t with
+    by_class = Hashtbl.copy t.by_class;
+    max_pool_index = Hashtbl.copy t.max_pool_index;
+    mix = Array.copy t.mix;
+  }
+
+(* Fold [src] into [dst]. Additive counters sum; pool indices take the
+   max; [src]'s output is treated as printed after [dst]'s (both lists
+   are reversed, so [src] goes in front). Associative and commutative on
+   everything except output order, which follows merge order — exactly
+   the deterministic join order the parallel VM merges children in. *)
+let merge dst src =
+  dst.heap_objects <- dst.heap_objects + src.heap_objects;
+  dst.data_objects <- dst.data_objects + src.data_objects;
+  dst.page_records <- dst.page_records + src.page_records;
+  Hashtbl.iter
+    (fun cls n ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt dst.by_class cls) in
+      Hashtbl.replace dst.by_class cls (c + n))
+    src.by_class;
+  Hashtbl.iter
+    (fun type_id idx ->
+      let m = Option.value ~default:(-1) (Hashtbl.find_opt dst.max_pool_index type_id) in
+      if idx > m then Hashtbl.replace dst.max_pool_index type_id idx)
+    src.max_pool_index;
+  dst.steps <- dst.steps + src.steps;
+  dst.output <- src.output @ dst.output;
+  dst.static_dispatches <- dst.static_dispatches + src.static_dispatches;
+  dst.virtual_dispatches <- dst.virtual_dispatches + src.virtual_dispatches;
+  dst.intrinsic_dispatches <- dst.intrinsic_dispatches + src.intrinsic_dispatches;
+  Array.iteri (fun i n -> dst.mix.(i) <- dst.mix.(i) + n) src.mix
+
 let output_lines t = List.rev t.output
 
 let class_count t cls = Option.value ~default:0 (Hashtbl.find_opt t.by_class cls)

@@ -37,6 +37,19 @@ type t = {
 }
 
 val create : unit -> t
+
+val zero : t -> unit
+(** Reset every counter, table, and the output in place. *)
+
+val copy : t -> t
+(** Deep copy (tables and mix array are duplicated). *)
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]: counters and mixes sum,
+    per-class counts sum, pool indices take the max, and [src]'s output
+    lines are appended after [dst]'s. Merging per-worker shards in join
+    order reproduces the sequential totals. *)
+
 val note_alloc : t -> cls:string -> is_data:bool -> unit
 val note_record : t -> unit
 val note_pool_use : t -> type_id:int -> index:int -> unit

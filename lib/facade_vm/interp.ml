@@ -21,6 +21,7 @@ type outcome = {
   stats : Exec_stats.t;
   store_stats : Store.stats option;
   facades_allocated : int;
+  locks_peak : int;
 }
 
 type facade_rt = {
@@ -37,6 +38,31 @@ type facade_rt = {
 
 type mode = Object_mode | Facade_mode of facade_rt
 
+(* Shared state of a parallel run (tentpole of the multicore layer): the
+   domain pool plus the mutexes guarding the structures that logical
+   threads share. Page managers and facade pools stay thread-local; the
+   store and lock pool are domain-safe internally; everything else that
+   both parent and children touch is serialized here. Lock order (outer
+   first): pools_mu / str_mu / mon_mu → heap_mu. *)
+type par_shared = {
+  pool : Parallel.Pool.t;
+  pools_mu : Mutex.t;  (* facade_rt.pools *)
+  str_mu : Mutex.t;    (* facade_rt.strings / string_intern *)
+  mon_mu : Mutex.t;    (* st.monitors (object monitors on control objects) *)
+  heap_mu : Mutex.t;   (* the heapsim Heap and last_native/last_pages *)
+}
+
+type child = {
+  c_stats : Exec_stats.t;
+  c_anchor : string list;
+      (* the parent's (reversed) output at spawn time — a physical suffix
+         of its output at join time, where the child's lines splice in *)
+}
+
+(* Per-logical-thread join state: one group per spawner, children listed
+   most-recent-first. *)
+type join_st = { group : Parallel.Sched.group; mutable children : child list }
+
 type st = {
   rp : R.program;
   mode : mode;
@@ -44,20 +70,38 @@ type st = {
   stats : Exec_stats.t;
   globals : Value.t array;
   monitors : (int, int) Hashtbl.t;        (* object-mode oid -> entries *)
-  mutable oid : int;
+  oid : int Atomic.t;           (* shared with children in parallel mode *)
   max_steps : int;
   mutable thread : int;
-  mutable next_thread : int;
+  next_thread : int Atomic.t;   (* shared with children in parallel mode *)
+  par : par_shared option;
+  mutable join : join_st option;
 }
 
 (* ---------- heap accounting ---------- *)
+
+(* The heap simulator is single-threaded; serialize charges when running
+   on domains. *)
+let heap_locked st f =
+  match st.par with
+  | None -> f ()
+  | Some p ->
+      Mutex.lock p.heap_mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock p.heap_mu) f
+
+let mon_locked st f =
+  match st.par with
+  | None -> f ()
+  | Some p ->
+      Mutex.lock p.mon_mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock p.mon_mu) f
 
 let charge_heap_obj st ~bytes ~data =
   match st.heap with
   | None -> ()
   | Some h ->
       let lifetime = if data then Heap.Iteration else Heap.Control in
-      Heap.alloc h ~lifetime ~bytes
+      heap_locked st (fun () -> Heap.alloc h ~lifetime ~bytes)
 
 (* Page wrappers are control heap objects; native pages count toward the
    process footprint. Sync both after every store operation that can
@@ -65,21 +109,20 @@ let charge_heap_obj st ~bytes ~data =
 let sync_native st =
   match st.mode, st.heap with
   | Facade_mode rt, Some h ->
-      let s = Store.stats rt.store in
-      let dn = s.Store.native_bytes - rt.last_native in
-      if dn > 0 then Heap.native_alloc h ~bytes:dn
-      else if dn < 0 then Heap.native_free h ~bytes:(-dn);
-      rt.last_native <- s.Store.native_bytes;
-      let dp = s.Store.pages_created - rt.last_pages in
-      for _ = 1 to dp do
-        Heap.alloc h ~lifetime:Heap.Control ~bytes:Heapsim.Obj_model.page_wrapper_bytes
-      done;
-      rt.last_pages <- s.Store.pages_created
+      heap_locked st (fun () ->
+          let s = Store.stats rt.store in
+          let dn = s.Store.native_bytes - rt.last_native in
+          if dn > 0 then Heap.native_alloc h ~bytes:dn
+          else if dn < 0 then Heap.native_free h ~bytes:(-dn);
+          rt.last_native <- s.Store.native_bytes;
+          let dp = s.Store.pages_created - rt.last_pages in
+          for _ = 1 to dp do
+            Heap.alloc h ~lifetime:Heap.Control ~bytes:Heapsim.Obj_model.page_wrapper_bytes
+          done;
+          rt.last_pages <- s.Store.pages_created)
   | (Facade_mode _ | Object_mode), _ -> ()
 
-let new_oid st =
-  st.oid <- st.oid + 1;
-  st.oid
+let new_oid st = Atomic.fetch_and_add st.oid 1 + 1
 
 let alloc_obj st cid =
   let c = st.rp.R.classes.(cid) in
@@ -168,19 +211,32 @@ let the_rt st =
   | Object_mode -> vm_err "runtime intrinsic outside facade mode"
 
 (* Facade pools are strictly thread-local (paper 3.4): each logical thread
-   gets its own Pools instance on first use. *)
+   gets its own Pools instance on first use. Only the registry lookup is
+   shared; in parallel mode it is mutex-guarded. *)
 let pools_of st rt =
-  match Hashtbl.find_opt rt.pools st.thread with
-  | Some p -> p
-  | None ->
-      let p = FP.create ~bounds:rt.bounds in
-      Hashtbl.replace rt.pools st.thread p;
-      (match st.heap with
-      | Some h ->
-          Heap.alloc_many h ~lifetime:Heap.Permanent ~bytes_each:32
-            ~count:(FP.total_facades p)
-      | None -> ());
-      p
+  let lookup_or_create () =
+    match Hashtbl.find_opt rt.pools st.thread with
+    | Some p -> (p, false)
+    | None ->
+        let p = FP.create ~bounds:rt.bounds in
+        Hashtbl.replace rt.pools st.thread p;
+        (p, true)
+  in
+  let p, fresh =
+    match st.par with
+    | None -> lookup_or_create ()
+    | Some sh ->
+        Mutex.lock sh.pools_mu;
+        Fun.protect ~finally:(fun () -> Mutex.unlock sh.pools_mu) lookup_or_create
+  in
+  if fresh then (
+    match st.heap with
+    | Some h ->
+        heap_locked st (fun () ->
+            Heap.alloc_many h ~lifetime:Heap.Permanent ~bytes_each:32
+              ~count:(FP.total_facades p))
+    | None -> ());
+  p
 
 (* ---------- dispatch ---------- *)
 
@@ -317,17 +373,24 @@ and write_slot st rt visited addr ~offset ~jty v =
       vm_err "convertFrom: field/value mismatch at offset %d: %s" offset (Value.to_string v)
 
 and intern_string st rt s =
-  match Hashtbl.find_opt rt.string_intern s with
-  | Some addr -> addr
-  | None ->
-      let tid = Layout.type_id rt.layout Jtype.string_class in
-      let addr = Store.alloc_record rt.store ~thread:st.thread ~type_id:tid ~data_bytes:0 in
-      Exec_stats.note_record st.stats;
-      sync_native st;
-      let ai = Addr.to_int addr in
-      Hashtbl.replace rt.string_intern s ai;
-      Hashtbl.replace rt.strings ai s;
-      ai
+  let body () =
+    match Hashtbl.find_opt rt.string_intern s with
+    | Some addr -> addr
+    | None ->
+        let tid = Layout.type_id rt.layout Jtype.string_class in
+        let addr = Store.alloc_record rt.store ~thread:st.thread ~type_id:tid ~data_bytes:0 in
+        Exec_stats.note_record st.stats;
+        sync_native st;
+        let ai = Addr.to_int addr in
+        Hashtbl.replace rt.string_intern s ai;
+        Hashtbl.replace rt.strings ai s;
+        ai
+  in
+  match st.par with
+  | None -> body ()
+  | Some sh ->
+      Mutex.lock sh.str_mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock sh.str_mu) body
 
 let rec convert_to st rt (visited : (int, Value.t) Hashtbl.t) (ai : int) : Value.t =
   if ai = 0 then Value.Null
@@ -335,7 +398,16 @@ let rec convert_to st rt (visited : (int, Value.t) Hashtbl.t) (ai : int) : Value
     match Hashtbl.find_opt visited ai with
     | Some v -> v
     | None -> (
-        match Hashtbl.find_opt rt.strings ai with
+        let interned =
+          match st.par with
+          | None -> Hashtbl.find_opt rt.strings ai
+          | Some sh ->
+              Mutex.lock sh.str_mu;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock sh.str_mu)
+                (fun () -> Hashtbl.find_opt rt.strings ai)
+        in
+        match interned with
         | Some s -> Value.Str s
         | None ->
             let addr = Addr.of_int ai in
@@ -538,27 +610,37 @@ and exec st (frame : Value.t array) ins =
   | R.Rmonitor_enter s -> (
       match frame.(s) with
       | Value.Obj o ->
-          let n = Option.value ~default:0 (Hashtbl.find_opt st.monitors o.Value.oid) in
-          Hashtbl.replace st.monitors o.Value.oid (n + 1)
+          mon_locked st (fun () ->
+              let n = Option.value ~default:0 (Hashtbl.find_opt st.monitors o.Value.oid) in
+              Hashtbl.replace st.monitors o.Value.oid (n + 1))
       | Value.Null -> vm_err "NullPointerException: monitorenter"
       | w -> vm_err "monitorenter on %s" (Value.to_string w))
   | R.Rmonitor_exit s -> (
       match frame.(s) with
-      | Value.Obj o -> (
-          match Hashtbl.find_opt st.monitors o.Value.oid with
-          | Some n when n > 0 ->
-              if n = 1 then Hashtbl.remove st.monitors o.Value.oid
-              else Hashtbl.replace st.monitors o.Value.oid (n - 1)
-          | Some _ | None -> vm_err "IllegalMonitorStateException")
+      | Value.Obj o ->
+          mon_locked st (fun () ->
+              match Hashtbl.find_opt st.monitors o.Value.oid with
+              | Some n when n > 0 ->
+                  if n = 1 then Hashtbl.remove st.monitors o.Value.oid
+                  else Hashtbl.replace st.monitors o.Value.oid (n - 1)
+              | Some _ | None -> vm_err "IllegalMonitorStateException")
       | Value.Null -> vm_err "NullPointerException: monitorexit"
       | w -> vm_err "monitorexit on %s" (Value.to_string w))
   | R.Riter_start -> (
-      (match st.heap with Some h -> Heap.iteration_start h | None -> ());
+      (match st.heap with
+      | Some h -> heap_locked st (fun () -> Heap.iteration_start h)
+      | None -> ());
       match st.mode with
       | Facade_mode rt -> Store.iteration_start rt.store ~thread:st.thread
       | Object_mode -> ())
   | R.Riter_end -> (
-      (match st.heap with Some h -> Heap.iteration_end h | None -> ());
+      (* Join barrier: threads spawned inside (or before) this iteration
+         finish before the iteration's page managers are bulk-released —
+         their default managers are children of the iteration manager. *)
+      join_children st;
+      (match st.heap with
+      | Some h -> heap_locked st (fun () -> Heap.iteration_end h)
+      | None -> ());
       match st.mode with
       | Facade_mode rt ->
           Store.iteration_end rt.store ~thread:st.thread;
@@ -587,26 +669,19 @@ and field_slot st (o : Value.obj) fid =
     vm_err "NoSuchFieldError: %s.%s" o.Value.ocls st.rp.R.field_names.(fid)
   else slot
 
-and run_thread st v =
-  (* A fresh logical thread: own page manager (child of the spawning
-     thread's current iteration, 3.6) and own facade pools; runs
-     obj.run() to completion. *)
-  let tid = st.next_thread in
-  st.next_thread <- tid + 1;
-  let parent = st.thread in
-  (match st.mode with
-  | Facade_mode rt -> Store.register_thread ~parent rt.store tid
-  | Object_mode -> ());
-  st.thread <- tid;
-  let recv =
-    match st.mode, v with
-    | Facade_mode rt, Value.Int r when r <> 0 ->
-        let rtid = Store.type_id rt.store (Addr.of_int r) in
-        let f = FP.receiver (pools_of st rt) ~type_id:rtid in
-        FP.bind f (Addr.of_int r);
-        Value.Facade f
-    | (Facade_mode _ | Object_mode), v -> v
-  in
+(* Resolve the value handed to a fresh thread into the [run()] receiver:
+   in facade mode a record address is rebound through the new thread's
+   own pools (facade pools are never shared across threads). *)
+and resolve_run_receiver st v =
+  match st.mode, v with
+  | Facade_mode rt, Value.Int r when r <> 0 ->
+      let rtid = Store.type_id rt.store (Addr.of_int r) in
+      let f = FP.receiver (pools_of st rt) ~type_id:rtid in
+      FP.bind f (Addr.of_int r);
+      Value.Facade f
+  | (Facade_mode _ | Object_mode), v -> v
+
+and run_the_run st recv =
   let cid = dispatch_cid st recv "run" in
   let c = st.rp.R.classes.(cid) in
   let midx = if st.rp.R.run_mid >= 0 then c.R.c_vtable.(st.rp.R.run_mid) else -1 in
@@ -616,13 +691,89 @@ and run_thread st v =
   if m.R.m_nparams <> 0 then vm_err "arity mismatch calling %s.run (0 args)" c.R.c_name;
   let f = Array.copy m.R.m_frame in
   f.(0) <- recv;
-  ignore (run_body st m f);
-  (* The thread terminates: its default page manager is released (the
-     paper's per-thread reclamation). *)
-  (match st.mode with
-  | Facade_mode rt -> Store.release_thread rt.store tid
-  | Object_mode -> ());
-  st.thread <- parent
+  ignore (run_body st m f)
+
+and run_thread st v =
+  (* A fresh logical thread: own page manager (child of the spawning
+     thread's current iteration, 3.6) and own facade pools; runs
+     obj.run() to completion. With a worker pool attached (facade mode
+     only), the runnable is enqueued on the domains instead of executing
+     inline; the spawner joins it at the next barrier. *)
+  match st.par, st.mode with
+  | Some _, Facade_mode rt -> spawn_thread_parallel st rt v
+  | _ ->
+      let tid = Atomic.fetch_and_add st.next_thread 1 in
+      let parent = st.thread in
+      (match st.mode with
+      | Facade_mode rt -> Store.register_thread ~parent rt.store tid
+      | Object_mode -> ());
+      st.thread <- tid;
+      run_the_run st (resolve_run_receiver st v);
+      (* The thread terminates: its default page manager is released (the
+         paper's per-thread reclamation). *)
+      (match st.mode with
+      | Facade_mode rt -> Store.release_thread rt.store tid
+      | Object_mode -> ());
+      st.thread <- parent
+
+and spawn_thread_parallel st rt v =
+  let shared = Option.get st.par in
+  let tid = Atomic.fetch_and_add st.next_thread 1 in
+  (* Register on the spawner's domain so the child's default manager
+     hangs off the spawner's *current* iteration manager, exactly as the
+     sequential path does. *)
+  Store.register_thread ~parent:st.thread rt.store tid;
+  let child_st =
+    { st with stats = Exec_stats.create (); thread = tid; join = None }
+  in
+  let j =
+    match st.join with
+    | Some j -> j
+    | None ->
+        let j = { group = Parallel.Sched.group shared.pool; children = [] } in
+        st.join <- Some j;
+        j
+  in
+  j.children <-
+    { c_stats = child_st.stats; c_anchor = st.stats.Exec_stats.output } :: j.children;
+  Parallel.Sched.spawn j.group (fun () ->
+      run_the_run child_st (resolve_run_receiver child_st v);
+      (* Grandchildren must finish before this thread's manager subtree
+         is released. *)
+      join_children child_st;
+      Store.release_thread rt.store tid)
+
+(* Splice a joined child's output at its spawn point. Both lists are
+   newest-first; the anchor is a physical suffix of the parent's current
+   output, so the sequential print order is reproduced exactly. *)
+and splice_output st (c : child) =
+  let rec cut acc l =
+    if l == c.c_anchor then acc
+    else match l with [] -> acc | x :: tl -> cut (x :: acc) tl
+  in
+  let newer_oldest_first = cut [] st.stats.Exec_stats.output in
+  st.stats.Exec_stats.output <-
+    List.fold_left
+      (fun acc x -> x :: acc)
+      (c.c_stats.Exec_stats.output @ c.c_anchor)
+      newer_oldest_first
+
+(* The join barrier: wait for every child this thread has spawned, then
+   fold their stat shards in. Children are spliced most-recent-first so
+   each anchor is still a physical suffix when its turn comes. *)
+and join_children st =
+  match st.join with
+  | None -> ()
+  | Some j ->
+      Parallel.Sched.wait j.group;
+      let cs = j.children in
+      j.children <- [];
+      List.iter
+        (fun c ->
+          splice_output st c;
+          c.c_stats.Exec_stats.output <- [];
+          Exec_stats.merge st.stats c.c_stats)
+        cs
 
 and exec_intrinsic st frame ret i (ops : R.operand array) =
   let v k = operand frame ops.(k) in
@@ -773,14 +924,15 @@ and exec_intrinsic st frame ret i (ops : R.operand array) =
 (* ---------- program setup ---------- *)
 
 let finish st =
-  let store_stats, facades =
+  let store_stats, facades, locks_peak =
     match st.mode with
     | Facade_mode rt ->
         ( Some (Store.stats rt.store),
-          Hashtbl.fold (fun _ p acc -> acc + FP.total_facades p) rt.pools 0 )
-    | Object_mode -> (None, 0)
+          Hashtbl.fold (fun _ p acc -> acc + FP.total_facades p) rt.pools 0,
+          Pagestore.Lock_pool.peak_locks_in_use rt.locks )
+    | Object_mode -> (None, 0, 0)
   in
-  { result = None; stats = st.stats; store_stats; facades_allocated = facades }
+  { result = None; stats = st.stats; store_stats; facades_allocated = facades; locks_peak }
 
 let run_entry st ~entry_args =
   if st.rp.R.entry < 0 then begin
@@ -796,12 +948,14 @@ let run_entry st ~entry_args =
   let f = Array.copy m.R.m_frame in
   List.iteri (fun i a -> f.(i + 1) <- a) entry_args;
   let result = run_body st m f in
+  (* Final barrier: top-level threads spawned outside any iteration. *)
+  join_children st;
   let o = finish st in
   { o with result }
 
 let default_max_steps = 50_000_000
 
-let make_st rp mode heap max_steps thread =
+let make_st ?par rp mode heap max_steps thread =
   {
     rp;
     mode;
@@ -809,10 +963,12 @@ let make_st rp mode heap max_steps thread =
     stats = Exec_stats.create ();
     globals = Array.copy rp.R.globals_init;
     monitors = Hashtbl.create 16;
-    oid = 0;
+    oid = Atomic.make 0;
     max_steps;
     thread;
-    next_thread = 1;
+    next_thread = Atomic.make 1;
+    par;
+    join = None;
   }
 
 let run_object ?heap ?(is_data = fun _ -> false) ?(max_steps = default_max_steps)
@@ -821,8 +977,8 @@ let run_object ?heap ?(is_data = fun _ -> false) ?(max_steps = default_max_steps
   let st = make_st rp Object_mode heap max_steps 0 in
   run_entry st ~entry_args
 
-let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?(entry_args = [])
-    (pl : Facade_compiler.Pipeline.t) =
+let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
+    ?(entry_args = []) (pl : Facade_compiler.Pipeline.t) =
   let rp = Link.facade_program pl in
   let store = Store.create ?page_bytes () in
   let thread = 0 in
@@ -843,7 +999,20 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?(entry_args =
       last_pages = 0;
     }
   in
-  let st = make_st rp (Facade_mode rt) heap max_steps thread in
+  let par =
+    match workers with
+    | None -> None
+    | Some w ->
+        Some
+          {
+            pool = Parallel.Pool.create ~workers:(max 1 w);
+            pools_mu = Mutex.create ();
+            str_mu = Mutex.create ();
+            mon_mu = Mutex.create ();
+            heap_mu = Mutex.create ();
+          }
+  in
+  let st = make_st ?par rp (Facade_mode rt) heap max_steps thread in
   (* The facade pools themselves are heap objects — the paper's O(t·n). *)
   (match heap with
   | Some h ->
@@ -851,4 +1020,9 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?(entry_args =
         Heap.alloc h ~lifetime:Heap.Permanent ~bytes:32
       done
   | None -> ());
-  run_entry st ~entry_args
+  match par with
+  | None -> run_entry st ~entry_args
+  | Some sh ->
+      Fun.protect
+        ~finally:(fun () -> Parallel.Pool.shutdown sh.pool)
+        (fun () -> run_entry st ~entry_args)

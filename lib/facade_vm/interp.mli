@@ -33,6 +33,8 @@ type outcome = {
   stats : Exec_stats.t;
   store_stats : Pagestore.Store.stats option;  (** facade mode only *)
   facades_allocated : int;  (** heap facades populating the pools (P′) *)
+  locks_peak : int;
+      (** peak simultaneous lock-pool occupancy (facade mode; 0 in P) *)
 }
 
 val run_object :
@@ -49,7 +51,23 @@ val run_facade :
   ?heap:Heapsim.Heap.t ->
   ?max_steps:int ->
   ?page_bytes:int ->
+  ?workers:int ->
   ?entry_args:Value.t list ->
   Facade_compiler.Pipeline.t ->
   outcome
-(** Execute a compiled pipeline's transformed program in facade mode. *)
+(** Execute a compiled pipeline's transformed program in facade mode.
+
+    With [?workers:n], a pool of [n] OCaml domains executes spawned
+    logical threads in parallel: each [run_thread] enqueues the runnable
+    onto work-stealing deques, and the spawner joins its children at the
+    next iteration end (before the iteration's pages are bulk-released),
+    at its own termination, and at entry exit. Per-thread [Exec_stats]
+    shards are merged at the join in spawn order and child output is
+    spliced at the spawn point, so results, output, facade counts, and
+    records allocated are identical to the default sequential execution
+    for programs whose threads are data-race-free (the differential suite
+    asserts this for every shipped sample). The step budget is enforced
+    per logical thread in this mode, and heapsim charging (if [?heap] is
+    given) is serialized — simulated GC numbers are approximate under
+    parallelism. Omitting [?workers] leaves the engine byte-for-byte on
+    the sequential path. *)

@@ -795,14 +795,21 @@ let init_globals st =
     (Program.classes st.p)
 
 let finish st : Interp.outcome =
-  let store_stats, facades =
+  let store_stats, facades, locks_peak =
     match st.mode with
     | Facade_mode rt ->
         ( Some (Store.stats rt.store),
-          Hashtbl.fold (fun _ p acc -> acc + FP.total_facades p) rt.pools 0 )
-    | Object_mode _ -> (None, 0)
+          Hashtbl.fold (fun _ p acc -> acc + FP.total_facades p) rt.pools 0,
+          Pagestore.Lock_pool.peak_locks_in_use rt.locks )
+    | Object_mode _ -> (None, 0, 0)
   in
-  { Interp.result = None; stats = st.stats; store_stats; facades_allocated = facades }
+  {
+    Interp.result = None;
+    stats = st.stats;
+    store_stats;
+    facades_allocated = facades;
+    locks_peak;
+  }
 
 let run_entry st ~entry_args =
   let cls, mname = Program.entry st.p in

@@ -16,10 +16,40 @@ let valid_bits t w =
   (* Number of meaningful bits in word [w]. *)
   min bits_per_word (t.n - (w * bits_per_word))
 
-(* Index of the lowest clear bit among the low [limit] bits, or -1. *)
-let lowest_clear v ~limit =
+(* Reference implementation: linear scan. Kept for the pinning tests. *)
+let lowest_clear_scan v ~limit =
   let rec go i = if i >= limit then -1 else if v land (1 lsl i) = 0 then i else go (i + 1) in
   go 0
+
+(* De Bruijn multiplication table for bit-scan-forward over 64-bit words
+   (constant 0x03f79d71b4cb0a89). *)
+let debruijn64 = 0x03f79d71b4cb0a89L
+
+let debruijn_index =
+  [|
+    0; 1; 48; 2; 57; 49; 28; 3; 61; 58; 50; 42; 38; 29; 17; 4;
+    62; 55; 59; 36; 53; 51; 43; 22; 45; 39; 33; 30; 24; 18; 12; 5;
+    63; 47; 56; 27; 60; 41; 37; 16; 54; 35; 52; 21; 44; 32; 23; 11;
+    46; 26; 40; 15; 34; 20; 31; 10; 25; 14; 19; 9; 13; 8; 7; 6;
+  |]
+
+(* Index of the lowest clear bit among the low [limit] bits, or -1.
+   Constant time: complement, isolate the lowest set bit, and look its
+   position up via a de Bruijn multiply. The multiply runs in Int64
+   because a 62-bit isolated bit times the 64-bit constant does not fit
+   OCaml's 63-bit native int. *)
+let lowest_clear v ~limit =
+  if limit <= 0 then -1
+  else
+    (* At [limit = 62] the shift wraps so that the subtraction yields
+       [max_int] — exactly bits 0..61 set, the mask we want. *)
+    let mask = (1 lsl limit) - 1 in
+    let inv = lnot v land mask in
+    if inv = 0 then -1
+    else
+      let bit = inv land -inv in
+      debruijn_index.(Int64.(
+        to_int (shift_right_logical (mul (of_int bit) debruijn64) 58)))
 
 let acquire_first_free t =
   let nwords = Array.length t.words in

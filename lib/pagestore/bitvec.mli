@@ -20,3 +20,11 @@ val clear : t -> int -> unit
 
 val is_set : t -> int -> bool
 val count_set : t -> int
+
+val lowest_clear : int -> limit:int -> int
+(** Index of the lowest clear bit among the low [limit] (≤ 62) bits of a
+    word, or [-1] if they are all set. Constant time (de Bruijn). *)
+
+val lowest_clear_scan : int -> limit:int -> int
+(** Reference linear-scan implementation of {!lowest_clear}, exposed so
+    tests can pin the constant-time version against it. *)

@@ -90,3 +90,4 @@ let monitor_exit t store addr ~thread =
 
 let locks_in_use t = t.in_use
 let peak_locks_in_use t = t.peak
+let bits_in_use t = Bitvec.count_set t.bits

@@ -26,5 +26,9 @@ val monitor_exit : t -> Store.t -> Addr.t -> thread:int -> unit
 val locks_in_use : t -> int
 val peak_locks_in_use : t -> int
 
+val bits_in_use : t -> int
+(** Set bits in the backing bit vector; equals {!locks_in_use} at
+    quiescence (the stress tests assert this consistency). *)
+
 exception Pool_exhausted
 (** No free lock: more concurrently locked records than [capacity]. *)

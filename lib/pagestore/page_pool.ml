@@ -1,13 +1,20 @@
 type t = {
   page_bytes : int;
   mutex : Mutex.t;
+  (* [mutex] guards table growth and the fresh/oversize allocation path
+     (next_id, created, native, peak_native). The recycle path — the hot
+     one under many domains — is lock-free: [free] is a Treiber stack
+     over an immutable list (CAS on physically fresh cons cells, so ABA
+     cannot occur), and live/recycled are atomic counters. Reading a page
+     id off the stack happens-before any use of that id, so the plain
+     [table] read below always observes an array that contains it (grows
+     only ever copy entries forward). *)
   mutable table : Page.t option array;
   mutable next_id : int;
-  mutable free : int list;  (* standard pages available for reuse *)
-  mutable free_count : int;
-  mutable live : int;
+  free : int list Atomic.t; (* standard pages available for reuse *)
+  live : int Atomic.t;
   mutable created : int;
-  mutable recycled : int;
+  recycled : int Atomic.t;
   mutable native : int;
   mutable peak_native : int;
 }
@@ -21,11 +28,10 @@ let create ?(page_bytes = default_page_bytes) () =
     mutex = Mutex.create ();
     table = Array.make 64 None;
     next_id = 0;
-    free = [];
-    free_count = 0;
-    live = 0;
+    free = Atomic.make [];
+    live = Atomic.make 0;
     created = 0;
-    recycled = 0;
+    recycled = Atomic.make 0;
     native = 0;
     peak_native = 0;
   }
@@ -57,39 +63,40 @@ let fresh_page t ~bytes =
   if t.native > t.peak_native then t.peak_native <- t.native;
   id
 
+let rec pop_free t =
+  match Atomic.get t.free with
+  | [] -> None
+  | id :: rest as old ->
+      if Atomic.compare_and_set t.free old rest then Some id else pop_free t
+
+let rec push_free t id =
+  let old = Atomic.get t.free in
+  if not (Atomic.compare_and_set t.free old (id :: old)) then push_free t id
+
 let acquire t =
-  let zero_and_count id =
-    (match t.table.(id) with
-    | Some p -> Page.fill p ~off:0 ~len:(Page.capacity p) '\000'
-    | None -> assert false);
-    t.recycled <- t.recycled + 1;
-    id
-  in
-  with_lock t (fun () ->
-      t.live <- t.live + 1;
-      match t.free with
-      | id :: rest ->
-          t.free <- rest;
-          t.free_count <- t.free_count - 1;
-          zero_and_count id
-      | [] -> fresh_page t ~bytes:t.page_bytes)
+  Atomic.incr t.live;
+  match pop_free t with
+  | Some id ->
+      (match t.table.(id) with
+      | Some p -> Page.fill p ~off:0 ~len:(Page.capacity p) '\000'
+      | None -> assert false);
+      Atomic.incr t.recycled;
+      id
+  | None -> with_lock t (fun () -> fresh_page t ~bytes:t.page_bytes)
 
 let acquire_oversize t ~bytes =
   if bytes <= t.page_bytes then
     invalid_arg "Page_pool.acquire_oversize: fits in a standard page";
-  with_lock t (fun () ->
-      t.live <- t.live + 1;
-      fresh_page t ~bytes)
+  Atomic.incr t.live;
+  with_lock t (fun () -> fresh_page t ~bytes)
 
 let release t id =
-  with_lock t (fun () ->
-      (match t.table.(id) with
-      | Some p when Page.capacity p = t.page_bytes -> ()
-      | Some _ -> invalid_arg "Page_pool.release: oversize page"
-      | None -> invalid_arg "Page_pool.release: page already discarded");
-      t.live <- t.live - 1;
-      t.free <- id :: t.free;
-      t.free_count <- t.free_count + 1)
+  (match t.table.(id) with
+  | Some p when Page.capacity p = t.page_bytes -> ()
+  | Some _ -> invalid_arg "Page_pool.release: oversize page"
+  | None -> invalid_arg "Page_pool.release: page already discarded");
+  Atomic.decr t.live;
+  push_free t id
 
 let release_oversize t id =
   with_lock t (fun () ->
@@ -97,7 +104,7 @@ let release_oversize t id =
       | Some p ->
           t.native <- t.native - Page.capacity p;
           t.table.(id) <- None;
-          t.live <- t.live - 1
+          Atomic.decr t.live
       | None -> invalid_arg "Page_pool.release_oversize: page already discarded")
 
 let page t id =
@@ -105,8 +112,9 @@ let page t id =
   | Some p -> p
   | None -> invalid_arg "Page_pool.page: dead page"
 
-let live_pages t = t.live
+let live_pages t = Atomic.get t.live
 let pages_created t = t.created
-let pages_recycled t = t.recycled
+let pages_recycled t = Atomic.get t.recycled
 let native_bytes t = t.native
 let peak_native_bytes t = t.peak_native
+let free_pages t = List.length (Atomic.get t.free)

@@ -5,8 +5,9 @@
     oversize pages are deallocated immediately, which is what lets the
     runtime return memory early when a data structure resizes (§3.6).
 
-    Thread-safe: the table is protected by a mutex so per-thread page
-    managers can acquire pages concurrently. *)
+    Domain-safe: the recycle path (the hot path under many workers) is a
+    lock-free Treiber stack over [Atomic]; only fresh allocation and
+    oversize teardown take the table mutex. *)
 
 type t
 
@@ -42,3 +43,6 @@ val native_bytes : t -> int
     view of the process). *)
 
 val peak_native_bytes : t -> int
+
+val free_pages : t -> int
+(** Length of the free list (racy snapshot; exact at quiescence). *)

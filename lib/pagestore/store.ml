@@ -3,21 +3,43 @@ type thread = int
 type thread_state = {
   default_mgr : Page_manager.t;
   mutable stack : Page_manager.t list;  (* innermost iteration first *)
+  mutable t_records : int;  (* cumulative; owner-thread writes only *)
+  mutable t_bytes : int;
 }
+
+type thread_totals = { thread_records : int; thread_bytes : int }
 
 type t = {
   pool : Page_pool.t;
+  mu : Mutex.t;  (* guards [threads] and [retired] against concurrent registration *)
   threads : (thread, thread_state) Hashtbl.t;
-  mutable records : int;
+  retired : (thread, thread_totals) Hashtbl.t;
+  records : int Atomic.t;
 }
 
 let create ?page_bytes () =
-  { pool = Page_pool.create ?page_bytes (); threads = Hashtbl.create 16; records = 0 }
+  {
+    pool = Page_pool.create ?page_bytes ();
+    mu = Mutex.create ();
+    threads = Hashtbl.create 16;
+    retired = Hashtbl.create 16;
+    records = Atomic.make 0;
+  }
 
 let pool t = t.pool
 
+let with_mu t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+      Mutex.unlock t.mu;
+      v
+  | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+
 let thread_state t id =
-  match Hashtbl.find_opt t.threads id with
+  match with_mu t (fun () -> Hashtbl.find_opt t.threads id) with
   | Some st -> st
   | None -> invalid_arg (Printf.sprintf "Store: thread %d not registered" id)
 
@@ -25,19 +47,32 @@ let current_mgr st =
   match st.stack with [] -> st.default_mgr | m :: _ -> m
 
 let register_thread ?parent t id =
-  if Hashtbl.mem t.threads id then
-    invalid_arg (Printf.sprintf "Store.register_thread: thread %d already registered" id);
-  let default_mgr =
-    match parent with
-    | None -> Page_manager.create t.pool
-    | Some p -> Page_manager.create_child (current_mgr (thread_state t p))
+  let parent_mgr =
+    match parent with None -> None | Some p -> Some (current_mgr (thread_state t p))
   in
-  Hashtbl.replace t.threads id { default_mgr; stack = [] }
+  with_mu t (fun () ->
+      if Hashtbl.mem t.threads id then
+        invalid_arg (Printf.sprintf "Store.register_thread: thread %d already registered" id);
+      let default_mgr =
+        match parent_mgr with
+        | None -> Page_manager.create t.pool
+        | Some m -> Page_manager.create_child m
+      in
+      Hashtbl.replace t.threads id { default_mgr; stack = []; t_records = 0; t_bytes = 0 })
 
 let release_thread t id =
   let st = thread_state t id in
   Page_manager.release_all st.default_mgr;
-  Hashtbl.remove t.threads id
+  with_mu t (fun () ->
+      Hashtbl.replace t.retired id
+        { thread_records = st.t_records; thread_bytes = st.t_bytes };
+      Hashtbl.remove t.threads id)
+
+let thread_totals t ~thread =
+  with_mu t (fun () ->
+      match Hashtbl.find_opt t.threads thread with
+      | Some st -> Some { thread_records = st.t_records; thread_bytes = st.t_bytes }
+      | None -> Hashtbl.find_opt t.retired thread)
 
 let iteration_start t ~thread =
   let st = thread_state t thread in
@@ -63,10 +98,11 @@ let alloc_record t ~thread ~type_id ~data_bytes =
   if type_id < 0 || type_id > Layout_rt.max_type_id then
     invalid_arg "Store.alloc_record: type id out of range";
   let st = thread_state t thread in
-  let addr =
-    Page_manager.alloc (current_mgr st) ~bytes:(Layout_rt.record_header_bytes + data_bytes)
-  in
-  t.records <- t.records + 1;
+  let bytes = Layout_rt.record_header_bytes + data_bytes in
+  let addr = Page_manager.alloc (current_mgr st) ~bytes in
+  Atomic.incr t.records;
+  st.t_records <- st.t_records + 1;
+  st.t_bytes <- st.t_bytes + bytes;
   let p, off = base t addr in
   Page.write_u16 p (off + Layout_rt.type_id_offset) type_id;
   addr
@@ -76,7 +112,9 @@ let alloc_array_with alloc t ~thread ~type_id ~elem_bytes ~length =
   let st = thread_state t thread in
   let bytes = Layout_rt.array_header_bytes + (elem_bytes * length) in
   let addr = alloc (current_mgr st) ~bytes in
-  t.records <- t.records + 1;
+  Atomic.incr t.records;
+  st.t_records <- st.t_records + 1;
+  st.t_bytes <- st.t_bytes + bytes;
   let p, off = base t addr in
   Page.write_u16 p (off + Layout_rt.type_id_offset) type_id;
   Page.write_i32 p (off + Layout_rt.length_offset) length;
@@ -188,7 +226,7 @@ type stats = {
 
 let stats t =
   {
-    records_allocated = t.records;
+    records_allocated = Atomic.get t.records;
     pages_created = Page_pool.pages_created t.pool;
     pages_recycled = Page_pool.pages_recycled t.pool;
     live_pages = Page_pool.live_pages t.pool;

@@ -12,7 +12,9 @@ type t
 type thread = int
 (** Logical thread id. Frameworks use deterministic logical threads; the
     runtime itself is also safe under real Domains because page managers
-    are thread-local and the pool is locked. *)
+    are thread-local, the page pool recycles lock-free, and the thread
+    registry is mutex-guarded. A given logical thread must only ever be
+    driven by one domain at a time. *)
 
 val create : ?page_bytes:int -> unit -> t
 val pool : t -> Page_pool.t
@@ -91,6 +93,13 @@ type stats = {
 }
 
 val stats : t -> stats
+
+type thread_totals = { thread_records : int; thread_bytes : int }
+(** Cumulative per-logical-thread allocation counters (records and bytes
+    requested), surviving {!release_thread}. *)
+
+val thread_totals : t -> thread:thread -> thread_totals option
+(** [None] when the thread was never registered. *)
 
 val live_page_objects : t -> int
 (** The number of page wrapper objects currently on the (simulated) managed

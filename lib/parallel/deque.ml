@@ -1,0 +1,91 @@
+(* Chase–Lev work-stealing deque (SPAA'05, with the C11 fence discipline
+   of Lê et al. PPoPP'13). The owner pushes and pops at the bottom;
+   thieves steal from the top with a compare-and-swap. OCaml [Atomic]
+   operations are sequentially consistent, which subsumes the fences the
+   original algorithm needs.
+
+   The buffer is a plain mutable field: a thief may read a stale array
+   after the owner grew the deque, but grown buffers copy every index in
+   [top, bottom) unchanged and the owner never overwrites a slot that is
+   still reachable from a stale [top] (a wrap-around collision with the
+   top index forces a grow instead), so a stale read still observes the
+   correct element and the subsequent CAS on [top] arbitrates ownership. *)
+
+type 'a t = {
+  mutable buf : 'a option array;  (* length always a power of two *)
+  top : int Atomic.t;             (* next index to steal *)
+  bottom : int Atomic.t;          (* next index to push *)
+}
+
+let create ?(capacity = 64) () =
+  let cap = max 2 capacity in
+  (* Round up to a power of two so index masking works. *)
+  let cap =
+    let c = ref 1 in
+    while !c < cap do
+      c := !c * 2
+    done;
+    !c
+  in
+  { buf = Array.make cap None; top = Atomic.make 0; bottom = Atomic.make 0 }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let grow t ~bottom ~top =
+  let old = t.buf in
+  let olen = Array.length old in
+  let fresh = Array.make (2 * olen) None in
+  for i = top to bottom - 1 do
+    fresh.(i land ((2 * olen) - 1)) <- old.(i land (olen - 1))
+  done;
+  t.buf <- fresh
+
+(* Owner only. *)
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp >= Array.length t.buf - 1 then grow t ~bottom:b ~top:tp;
+  let buf = t.buf in
+  buf.(b land (Array.length buf - 1)) <- Some x;
+  Atomic.set t.bottom (b + 1)
+
+(* Owner only. LIFO end. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Empty: restore. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let buf = t.buf in
+    let x = buf.(b land (Array.length buf - 1)) in
+    if b > tp then begin
+      buf.(b land (Array.length buf - 1)) <- None;
+      x
+    end
+    else begin
+      (* Last element: race against thieves for it. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        buf.(b land (Array.length buf - 1)) <- None;
+        x
+      end
+      else None
+    end
+  end
+
+(* Any thread. FIFO end. Returns [None] on empty or on losing a race —
+   callers treat both as "try elsewhere". *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let buf = t.buf in
+    let x = buf.(tp land (Array.length buf - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
+  end

@@ -1,0 +1,23 @@
+(** Chase–Lev work-stealing deque.
+
+    Single-owner at the bottom ({!push}/{!pop}, LIFO), multi-thief at the
+    top ({!steal}, FIFO). Grows automatically; safe across OCaml 5
+    Domains. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 64) is rounded up to a power of two. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only; takes the most recently pushed element. *)
+
+val steal : 'a t -> 'a option
+(** Any domain; takes the oldest element. [None] means empty {e or} a lost
+    race — retry or look elsewhere. *)
+
+val size : 'a t -> int
+(** Approximate number of queued elements (racy snapshot). *)

@@ -1,0 +1,22 @@
+(* Wall-clock measurement and simulated-I/O realization for the engine
+   scalability paths.
+
+   The engines' cost models charge simulated seconds to a Sim_clock; their
+   [~workers:n] paths instead *realize* the I/O component of a phase as a
+   real blocking [Unix.sleepf] inside tasks running on pool domains, and
+   measure the phase's wall-clock. Blocking sleeps overlap across domains
+   even on a single-core host, so the measured curves reflect the I/O
+   parallelism the analytic division used to assume. *)
+
+let now = Unix.gettimeofday
+
+let io_wait seconds = if seconds > 0.0 then Unix.sleepf seconds
+
+let run_timed pool thunks =
+  let g = Sched.group pool in
+  let t0 = now () in
+  List.iter (Sched.spawn g) thunks;
+  (* [~help:false]: the measuring domain must not execute tasks itself,
+     or a 1-worker measurement would silently get 2-way overlap. *)
+  Sched.wait ~help:false g;
+  now () -. t0

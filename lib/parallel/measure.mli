@@ -1,0 +1,15 @@
+(** Wall-clock measurement of pool-executed task batches, with simulated
+    I/O realized as real blocking waits (they overlap across domains even
+    on one core, which is what the engines' scalability benches measure). *)
+
+val now : unit -> float
+(** [Unix.gettimeofday]. *)
+
+val io_wait : float -> unit
+(** Block the calling domain for [seconds] (no-op when [<= 0.0]). Used by
+    engine tasks to realize a phase's simulated I/O share. *)
+
+val run_timed : Pool.t -> (unit -> unit) list -> float
+(** Run every thunk to completion on the pool's domains — the caller does
+    {e not} help, so exactly [Pool.size] domains execute tasks — and
+    return the elapsed wall-clock seconds. *)

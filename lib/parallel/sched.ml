@@ -1,0 +1,70 @@
+(* Join groups over a {!Pool}: fork tasks, then [wait] until all of them
+   (including any they transitively spawn into the same group) finished.
+
+   [wait] helps — it runs queued tasks on the calling domain while the
+   group drains — so a pool of [w] workers plus a joining caller never
+   deadlocks, even at [w = 1] with nested groups: the task a waiter needs
+   is either queued (the waiter or a worker runs it) or already running
+   on some domain (its completion signals the group). Waiters on worker
+   domains spin-help instead of parking so they always remain available
+   to execute nested work. *)
+
+type group = {
+  pool : Pool.t;
+  remaining : int Atomic.t;
+  first_exn : exn option Atomic.t;
+  mu : Mutex.t;
+  drained : Condition.t;
+}
+
+let group pool =
+  {
+    pool;
+    remaining = Atomic.make 0;
+    first_exn = Atomic.make None;
+    mu = Mutex.create ();
+    drained = Condition.create ();
+  }
+
+let spawn g f =
+  Atomic.incr g.remaining;
+  Pool.submit g.pool (fun () ->
+      (try f ()
+       with e -> ignore (Atomic.compare_and_set g.first_exn None (Some e)));
+      (* The last task to finish wakes parked waiters. The broadcast is
+         taken under [mu] so a waiter that just observed [remaining > 0]
+         is already inside [Condition.wait] when we get the lock. *)
+      if Atomic.fetch_and_add g.remaining (-1) = 1 then begin
+        Mutex.lock g.mu;
+        Condition.broadcast g.drained;
+        Mutex.unlock g.mu
+      end)
+
+let wait ?(help = true) g =
+  let on_worker = Pool.on_worker g.pool in
+  let rec loop () =
+    if Atomic.get g.remaining = 0 then ()
+    else if (help || on_worker) && Pool.try_help g.pool then loop ()
+    else if on_worker then begin
+      Domain.cpu_relax ();
+      loop ()
+    end
+    else begin
+      Mutex.lock g.mu;
+      while Atomic.get g.remaining > 0 do
+        Condition.wait g.drained g.mu
+      done;
+      Mutex.unlock g.mu
+    end
+  in
+  loop ();
+  match Atomic.get g.first_exn with
+  | Some e ->
+      Atomic.set g.first_exn None;
+      raise e
+  | None -> ()
+
+let run_list pool fs =
+  let g = group pool in
+  List.iter (fun f -> spawn g f) fs;
+  wait g

@@ -1199,9 +1199,14 @@ let threads =
     let r = B.fresh m int_t in
     B.new_obj b c "SharedCounter";
     B.call b ~recv:c ~kind:Ir.Special ~cls:"SharedCounter" ~name:ctor_name [];
-    (* Two worker threads plus the main thread all bump the counter. *)
+    (* Two worker threads plus the main thread all bump the counter. The
+       iteration frame is the join barrier: the spawner only reads [count]
+       after iter_end, so the result is deterministic even when the
+       runnables execute on pool domains. *)
+    B.iter_start b;
     B.add b (Ir.Intrinsic (None, Facade_compiler.Rt_names.run_thread, [ Ir.Var c ]));
     B.add b (Ir.Intrinsic (None, Facade_compiler.Rt_names.run_thread, [ Ir.Var c ]));
+    B.iter_end b;
     B.call b ~recv:c ~kind:Ir.Virtual ~cls:"SharedCounter" ~name:"inc" [];
     B.fload b ~dst:r ~obj:c ~field:"count";
     B.ret b (Some r);
@@ -1526,11 +1531,267 @@ let pagerank_sized ~n ~iters =
 
 let pagerank = pagerank_sized ~n:32 ~iters:10
 
+(* ---------- pagerank-par: domain-parallel supersteps ----------
+
+   The multi-threaded shape of the paper's scalability runs: each
+   superstep spawns [nw] PrWorker runnables over disjoint vertex ranges;
+   every worker scatters into its own private accumulator array, and the
+   main thread gathers the per-worker accumulators in a fixed order after
+   the join at iteration end. All cross-thread writes are disjoint and
+   the reduction order is fixed, so the result is identical whatever the
+   worker-pool size — the property the parallel-vs-sequential
+   differential suite pins. *)
+
+let pagerank_par =
+  let nv = 32 and degv = 4 and iters = 6 and nw = 4 in
+  let worker =
+    let run =
+      let m = B.create "run" in
+      List.iter
+        (fun (v, t) -> B.declare m v t)
+        [
+          ("i", int_t); ("e", int_t); ("k", int_t); ("dstv", int_t);
+          ("cond", int_t); ("one", int_t); ("j", int_t);
+          ("from", int_t); ("to_", int_t); ("n", int_t); ("d", int_t);
+          ("ranks", Jtype.Array double_t); ("accum", Jtype.Array double_t);
+          ("edges", Jtype.Array int_t);
+          ("zero_f", double_t); ("share", double_t); ("a", double_t);
+        ];
+      let b0 = B.entry m in
+      let b_zc = B.block m in  (* zero own accumulator *)
+      let b_zb = B.block m in
+      let b_sp = B.block m in
+      let b_sc = B.block m in  (* per-source-vertex loop over [from, to) *)
+      let b_sb = B.block m in
+      let b_ec = B.block m in  (* per-out-edge loop *)
+      let b_eb = B.block m in
+      let b_sn = B.block m in
+      let b_end = B.block m in
+      B.const_i b0 "one" 1;
+      B.const_f b0 "zero_f" 0.0;
+      B.fload b0 ~dst:"from" ~obj:"this" ~field:"efrom";
+      B.fload b0 ~dst:"to_" ~obj:"this" ~field:"eto";
+      B.fload b0 ~dst:"n" ~obj:"this" ~field:"nv";
+      B.fload b0 ~dst:"d" ~obj:"this" ~field:"degv";
+      B.fload b0 ~dst:"ranks" ~obj:"this" ~field:"ranks";
+      B.fload b0 ~dst:"accum" ~obj:"this" ~field:"accum";
+      B.fload b0 ~dst:"edges" ~obj:"this" ~field:"edges";
+      B.const_i b0 "j" 0;
+      B.jump b0 b_zc;
+      B.binop b_zc "cond" Ir.Lt "j" "n";
+      B.branch b_zc "cond" ~then_:b_zb ~else_:b_sp;
+      B.astore b_zb ~arr:"accum" ~idx:"j" ~src:"zero_f";
+      B.binop b_zb "j" Ir.Add "j" "one";
+      B.jump b_zb b_zc;
+      B.move b_sp ~dst:"i" ~src:"from";
+      B.jump b_sp b_sc;
+      B.binop b_sc "cond" Ir.Lt "i" "to_";
+      B.branch b_sc "cond" ~then_:b_sb ~else_:b_end;
+      B.aload b_sb ~dst:"share" ~arr:"ranks" ~idx:"i";
+      B.binop b_sb "share" Ir.Div "share" "d";
+      B.const_i b_sb "e" 0;
+      B.jump b_sb b_ec;
+      B.binop b_ec "cond" Ir.Lt "e" "d";
+      B.branch b_ec "cond" ~then_:b_eb ~else_:b_sn;
+      B.binop b_eb "k" Ir.Mul "i" "d";
+      B.binop b_eb "k" Ir.Add "k" "e";
+      B.aload b_eb ~dst:"dstv" ~arr:"edges" ~idx:"k";
+      B.aload b_eb ~dst:"a" ~arr:"accum" ~idx:"dstv";
+      B.binop b_eb "a" Ir.Add "a" "share";
+      B.astore b_eb ~arr:"accum" ~idx:"dstv" ~src:"a";
+      B.binop b_eb "e" Ir.Add "e" "one";
+      B.jump b_eb b_ec;
+      B.binop b_sn "i" Ir.Add "i" "one";
+      B.jump b_sn b_sc;
+      B.ret b_end None;
+      B.finish m
+    in
+    B.cls "PrWorker"
+      ~fields:
+        [
+          B.field "ranks" (Jtype.Array double_t);
+          B.field "accum" (Jtype.Array double_t);
+          B.field "edges" (Jtype.Array int_t);
+          B.field "efrom" int_t; B.field "eto" int_t;
+          B.field "nv" int_t; B.field "degv" int_t;
+        ]
+      ~methods:[ empty_init (); run ]
+  in
+  let main =
+    let m = B.create ~static:true "main" ~ret:double_t in
+    List.iter
+      (fun (v, t) -> B.declare m v t)
+      [
+        ("i", int_t); ("j", int_t); ("k", int_t); ("w", int_t); ("dstv", int_t);
+        ("s", int_t); ("round", int_t); ("cond", int_t); ("one", int_t);
+        ("n", int_t); ("nd", int_t); ("d", int_t); ("rounds", int_t);
+        ("workers_n", int_t); ("chunk", int_t); ("from", int_t); ("to_", int_t);
+        ("lcg_a", int_t); ("lcg_c", int_t); ("lcg_m", int_t);
+        ("ranks", Jtype.Array double_t);
+        ("edges", Jtype.Array int_t);
+        ("acc", Jtype.Array double_t);
+        ("workers", Jtype.Array (Jtype.Ref "PrWorker"));
+        ("wk", Jtype.Ref "PrWorker");
+        ("zero_f", double_t); ("inv_n", double_t); ("base", double_t);
+        ("damp", double_t); ("a", double_t); ("x", double_t);
+        ("r2", double_t); ("sum", double_t);
+      ];
+    let b0 = B.entry m in
+    let b_irc = B.block m in  (* init ranks: cond / body *)
+    let b_irb = B.block m in
+    let b_iep = B.block m in  (* init edges via LCG: pre / cond / body *)
+    let b_iec = B.block m in
+    let b_ieb = B.block m in
+    let b_wp = B.block m in   (* build workers: pre / cond / body *)
+    let b_wc = B.block m in
+    let b_wb = B.block m in
+    let b_rc = B.block m in   (* superstep loop: cond / body *)
+    let b_rb = B.block m in
+    let b_tc = B.block m in   (* spawn one thread per worker: cond / body *)
+    let b_tb = B.block m in
+    let b_join = B.block m in (* iteration end = join barrier *)
+    let b_gc = B.block m in   (* gather per vertex: cond / body *)
+    let b_gb = B.block m in
+    let b_hc = B.block m in   (* inner fold over workers, fixed order *)
+    let b_hb = B.block m in
+    let b_gf = B.block m in   (* write back the damped rank *)
+    let b_re = B.block m in
+    let b_sup = B.block m in  (* checksum: pre / cond / body *)
+    let b_suc = B.block m in
+    let b_sub = B.block m in
+    let b_end = B.block m in
+    B.const_i b0 "n" nv;
+    B.const_i b0 "d" degv;
+    B.const_i b0 "rounds" iters;
+    B.const_i b0 "workers_n" nw;
+    B.const_i b0 "one" 1;
+    B.const_i b0 "round" 0;
+    B.const_i b0 "s" 1;
+    B.const_i b0 "lcg_a" 1103515245;
+    B.const_i b0 "lcg_c" 12345;
+    B.const_i b0 "lcg_m" 1073741824;
+    B.const_f b0 "zero_f" 0.0;
+    B.const_f b0 "inv_n" (1.0 /. float_of_int nv);
+    B.const_f b0 "base" (0.15 /. float_of_int nv);
+    B.const_f b0 "damp" 0.85;
+    B.binop b0 "nd" Ir.Mul "n" "d";
+    B.binop b0 "chunk" Ir.Div "n" "workers_n";
+    B.new_array b0 "ranks" double_t ~len:"n";
+    B.new_array b0 "edges" int_t ~len:"nd";
+    B.new_array b0 "workers" (Jtype.Ref "PrWorker") ~len:"workers_n";
+    B.const_i b0 "i" 0;
+    B.jump b0 b_irc;
+    B.binop b_irc "cond" Ir.Lt "i" "n";
+    B.branch b_irc "cond" ~then_:b_irb ~else_:b_iep;
+    B.astore b_irb ~arr:"ranks" ~idx:"i" ~src:"inv_n";
+    B.binop b_irb "i" Ir.Add "i" "one";
+    B.jump b_irb b_irc;
+    B.const_i b_iep "k" 0;
+    B.jump b_iep b_iec;
+    B.binop b_iec "cond" Ir.Lt "k" "nd";
+    B.branch b_iec "cond" ~then_:b_ieb ~else_:b_wp;
+    B.binop b_ieb "s" Ir.Mul "s" "lcg_a";
+    B.binop b_ieb "s" Ir.Add "s" "lcg_c";
+    B.binop b_ieb "s" Ir.Rem "s" "lcg_m";
+    B.binop b_ieb "dstv" Ir.Rem "s" "n";
+    B.astore b_ieb ~arr:"edges" ~idx:"k" ~src:"dstv";
+    B.binop b_ieb "k" Ir.Add "k" "one";
+    B.jump b_ieb b_iec;
+    B.const_i b_wp "w" 0;
+    B.jump b_wp b_wc;
+    B.binop b_wc "cond" Ir.Lt "w" "workers_n";
+    B.branch b_wc "cond" ~then_:b_wb ~else_:b_rc;
+    B.new_obj b_wb "wk" "PrWorker";
+    B.call b_wb ~recv:"wk" ~kind:Ir.Special ~cls:"PrWorker" ~name:ctor_name [];
+    B.new_array b_wb "acc" double_t ~len:"n";
+    B.binop b_wb "from" Ir.Mul "w" "chunk";
+    B.binop b_wb "to_" Ir.Add "from" "chunk";
+    B.fstore b_wb ~obj:"wk" ~field:"ranks" ~src:"ranks";
+    B.fstore b_wb ~obj:"wk" ~field:"accum" ~src:"acc";
+    B.fstore b_wb ~obj:"wk" ~field:"edges" ~src:"edges";
+    B.fstore b_wb ~obj:"wk" ~field:"efrom" ~src:"from";
+    B.fstore b_wb ~obj:"wk" ~field:"eto" ~src:"to_";
+    B.fstore b_wb ~obj:"wk" ~field:"nv" ~src:"n";
+    B.fstore b_wb ~obj:"wk" ~field:"degv" ~src:"d";
+    B.astore b_wb ~arr:"workers" ~idx:"w" ~src:"wk";
+    B.binop b_wb "w" Ir.Add "w" "one";
+    B.jump b_wb b_wc;
+    (* One superstep = one iteration frame; threads spawned inside it are
+       joined at its end. *)
+    B.binop b_rc "cond" Ir.Lt "round" "rounds";
+    B.branch b_rc "cond" ~then_:b_rb ~else_:b_sup;
+    B.iter_start b_rb;
+    B.const_i b_rb "w" 0;
+    B.jump b_rb b_tc;
+    B.binop b_tc "cond" Ir.Lt "w" "workers_n";
+    B.branch b_tc "cond" ~then_:b_tb ~else_:b_join;
+    B.aload b_tb ~dst:"wk" ~arr:"workers" ~idx:"w";
+    B.add b_tb (Ir.Intrinsic (None, Facade_compiler.Rt_names.run_thread, [ Ir.Var "wk" ]));
+    B.binop b_tb "w" Ir.Add "w" "one";
+    B.jump b_tb b_tc;
+    B.iter_end b_join;
+    B.const_i b_join "j" 0;
+    B.jump b_join b_gc;
+    B.binop b_gc "cond" Ir.Lt "j" "n";
+    B.branch b_gc "cond" ~then_:b_gb ~else_:b_re;
+    B.const_f b_gb "a" 0.0;
+    B.const_i b_gb "w" 0;
+    B.jump b_gb b_hc;
+    B.binop b_hc "cond" Ir.Lt "w" "workers_n";
+    B.branch b_hc "cond" ~then_:b_hb ~else_:b_gf;
+    B.aload b_hb ~dst:"wk" ~arr:"workers" ~idx:"w";
+    B.fload b_hb ~dst:"acc" ~obj:"wk" ~field:"accum";
+    B.aload b_hb ~dst:"x" ~arr:"acc" ~idx:"j";
+    B.binop b_hb "a" Ir.Add "a" "x";
+    B.binop b_hb "w" Ir.Add "w" "one";
+    B.jump b_hb b_hc;
+    B.binop b_gf "r2" Ir.Mul "damp" "a";
+    B.binop b_gf "r2" Ir.Add "base" "r2";
+    B.astore b_gf ~arr:"ranks" ~idx:"j" ~src:"r2";
+    B.binop b_gf "j" Ir.Add "j" "one";
+    B.jump b_gf b_gc;
+    B.binop b_re "round" Ir.Add "round" "one";
+    B.jump b_re b_rc;
+    B.const_f b_sup "sum" 0.0;
+    B.const_i b_sup "j" 0;
+    B.jump b_sup b_suc;
+    B.binop b_suc "cond" Ir.Lt "j" "n";
+    B.branch b_suc "cond" ~then_:b_sub ~else_:b_end;
+    B.aload b_sub ~dst:"x" ~arr:"ranks" ~idx:"j";
+    B.binop b_sub "sum" Ir.Add "sum" "x";
+    B.binop b_sub "j" Ir.Add "j" "one";
+    B.jump b_sub b_suc;
+    B.add b_end (Ir.Intrinsic (None, Facade_compiler.Rt_names.print, [ Ir.Var "sum" ]));
+    B.ret b_end (Some "sum");
+    B.finish m
+  in
+  {
+    name = "pagerank-par";
+    program =
+      Program.make ~entry:("Main", "main") [ worker; B.cls "Main" ~methods:[ main ] ];
+    spec = spec [ "PrWorker"; "Main" ];
+    expected = None;
+  }
+
 let all =
   [
-    fig2; linked_list; dispatch; prim_arrays; conversion; locking; iteration;
-    statics; strings; interfaces; nested_iteration; collections; threads; boundary;
-    deep_conversion; pagerank;
+    fig2;
+    linked_list;
+    dispatch;
+    prim_arrays;
+    conversion;
+    locking;
+    iteration;
+    statics;
+    strings;
+    interfaces;
+    nested_iteration;
+    collections;
+    threads;
+    boundary;
+    deep_conversion;
+    pagerank;
+    pagerank_par;
   ]
 
 (* ---------- synthetic programs for transformation-speed benches ---------- *)

@@ -98,6 +98,14 @@ val pagerank : sample
 val pagerank_sized : n:int -> iters:int -> sample
 (** [pagerank] with a chosen vertex count and superstep count. *)
 
+val pagerank_par : sample
+(** Domain-parallel PageRank: each superstep spawns one [run_thread]
+    per [PrWorker], each scattering a disjoint source-vertex range into
+    a private accumulator array; after the iteration-end join the main
+    thread gathers the accumulators in fixed worker order. The result is
+    bit-identical at any worker-pool size — the parallel-vs-sequential
+    differential suite's showcase workload. *)
+
 val all : sample list
 (** Every sample above — the equivalence test sweep. *)
 

@@ -1,0 +1,273 @@
+(* The domain-parallel runtime: deque/pool/sched fork-join, the constant
+   time bit-vector scan, Exec_stats shard merging, a multicore stress of
+   the shared lock pool and page store, and the parallel-vs-sequential
+   differential over every shipped sample. *)
+
+module PS = Pagestore
+module Bitvec = PS.Bitvec
+module Store = PS.Store
+module Lock_pool = PS.Lock_pool
+module Pool = Parallel.Pool
+module Sched = Parallel.Sched
+module Stats = Facade_vm.Exec_stats
+
+(* ---------- pool / sched basics ---------- *)
+
+let test_pool_runs_tasks () =
+  let pool = Pool.create ~workers:2 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let hits = Atomic.make 0 in
+      Sched.run_list pool
+        (List.init 64 (fun _ () -> Atomic.incr hits));
+      Alcotest.(check int) "all tasks ran" 64 (Atomic.get hits))
+
+let test_sched_nested_spawn () =
+  let pool = Pool.create ~workers:1 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let hits = Atomic.make 0 in
+      let g = Sched.group pool in
+      Sched.spawn g (fun () ->
+          Atomic.incr hits;
+          Sched.spawn g (fun () -> Atomic.incr hits));
+      Sched.wait g;
+      Alcotest.(check int) "parent and nested child ran" 2 (Atomic.get hits))
+
+let test_sched_exception () =
+  let pool = Pool.create ~workers:2 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let g = Sched.group pool in
+      Sched.spawn g (fun () -> failwith "boom");
+      Sched.spawn g (fun () -> ());
+      Alcotest.check_raises "first task exception re-raised at join"
+        (Failure "boom") (fun () -> Sched.wait g))
+
+(* ---------- satellite: constant-time lowest_clear vs the scan ---------- *)
+
+let test_lowest_clear_pinned () =
+  for limit = 1 to 62 do
+    let check word =
+      Alcotest.(check int)
+        (Printf.sprintf "word=%x limit=%d" word limit)
+        (Bitvec.lowest_clear_scan word ~limit)
+        (Bitvec.lowest_clear word ~limit)
+    in
+    check 0;
+    check ((1 lsl limit) - 1);
+    (* all set below the limit *)
+    check (-1);
+    (* every word bit set *)
+    for b = 0 to limit - 1 do
+      check (1 lsl b);
+      (* single bit set *)
+      check ((1 lsl b) - 1);
+      (* b low bits set: lowest clear is b *)
+      check (lnot (1 lsl b))
+      (* single bit clear *)
+    done
+  done
+
+let prop_lowest_clear =
+  QCheck.Test.make ~name:"lowest_clear agrees with the linear scan" ~count:2000
+    QCheck.(pair int (int_range 1 62))
+    (fun (word, limit) ->
+      Bitvec.lowest_clear word ~limit = Bitvec.lowest_clear_scan word ~limit)
+
+(* ---------- satellite: Exec_stats shard merge ---------- *)
+
+let test_stats_merge_of_split () =
+  let ops_a (s : Stats.t) =
+    Stats.note_alloc s ~cls:"A" ~is_data:true;
+    Stats.note_alloc s ~cls:"B" ~is_data:false;
+    Stats.note_record s;
+    Stats.note_pool_use s ~type_id:3 ~index:2;
+    s.Stats.steps <- s.Stats.steps + 10;
+    s.Stats.static_dispatches <- s.Stats.static_dispatches + 4;
+    s.Stats.mix.(Stats.cat_arith) <- s.Stats.mix.(Stats.cat_arith) + 7;
+    s.Stats.output <- "second" :: "first" :: s.Stats.output
+  in
+  let ops_b (s : Stats.t) =
+    Stats.note_alloc s ~cls:"A" ~is_data:true;
+    Stats.note_record s;
+    Stats.note_record s;
+    Stats.note_pool_use s ~type_id:3 ~index:5;
+    Stats.note_pool_use s ~type_id:9 ~index:1;
+    s.Stats.steps <- s.Stats.steps + 3;
+    s.Stats.virtual_dispatches <- s.Stats.virtual_dispatches + 2;
+    s.Stats.mix.(Stats.cat_call) <- s.Stats.mix.(Stats.cat_call) + 1;
+    s.Stats.output <- "third" :: s.Stats.output
+  in
+  let whole = Stats.create () in
+  ops_a whole;
+  ops_b whole;
+  let shard_a = Stats.create () and shard_b = Stats.create () in
+  ops_a shard_a;
+  ops_b shard_b;
+  let merged = Stats.copy shard_a in
+  Stats.merge merged shard_b;
+  Alcotest.(check int) "heap objects" whole.Stats.heap_objects merged.Stats.heap_objects;
+  Alcotest.(check int) "data objects" whole.Stats.data_objects merged.Stats.data_objects;
+  Alcotest.(check int) "page records" whole.Stats.page_records merged.Stats.page_records;
+  Alcotest.(check int) "steps" whole.Stats.steps merged.Stats.steps;
+  Alcotest.(check int) "static dispatches" whole.Stats.static_dispatches
+    merged.Stats.static_dispatches;
+  Alcotest.(check int) "virtual dispatches" whole.Stats.virtual_dispatches
+    merged.Stats.virtual_dispatches;
+  Alcotest.(check (list string)) "output in order" (Stats.output_lines whole)
+    (Stats.output_lines merged);
+  Alcotest.(check int) "class A count" (Stats.class_count whole "A")
+    (Stats.class_count merged "A");
+  Alcotest.(check int) "class B count" (Stats.class_count whole "B")
+    (Stats.class_count merged "B");
+  Alcotest.(check (list (pair string int))) "instruction mix" (Stats.instr_mix whole)
+    (Stats.instr_mix merged);
+  Alcotest.(check (option int)) "pool index max for 3" (Hashtbl.find_opt whole.Stats.max_pool_index 3)
+    (Hashtbl.find_opt merged.Stats.max_pool_index 3);
+  Alcotest.(check (option int)) "pool index max for 9" (Hashtbl.find_opt whole.Stats.max_pool_index 9)
+    (Hashtbl.find_opt merged.Stats.max_pool_index 9);
+  (* merge must not disturb the source shard *)
+  Alcotest.(check int) "source shard untouched" 3 shard_b.Stats.steps
+
+(* ---------- satellite: multicore lock-pool / store stress ---------- *)
+
+(* [domains] workers hammer monitor_enter/exit on a small shared record set
+   while doing a deliberately racy read-modify-write under the lock, and
+   each allocates records on its own store thread. If the pool ever let two
+   domains hold the same record's lock, increments would be lost. *)
+let test_multicore_stress () =
+  let domains = 4 and records = 8 and rounds = 400 and allocs = 200 in
+  let store = Store.create () in
+  let locks = Lock_pool.create ~capacity:64 () in
+  Store.register_thread store 0;
+  for t = 1 to domains do
+    Store.register_thread store t
+  done;
+  let shared =
+    Array.init records (fun _ ->
+        Store.alloc_record store ~thread:0 ~type_id:1 ~data_bytes:16)
+  in
+  let counters = Array.make records 0 in
+  let pool = Pool.create ~workers:domains in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Sched.run_list pool
+        (List.init domains (fun t () ->
+             let thread = t + 1 in
+             for i = 0 to rounds - 1 do
+               let r = (i + t) mod records in
+               Lock_pool.monitor_enter locks store shared.(r) ~thread;
+               (* reentrant acquire of the same lock *)
+               Lock_pool.monitor_enter locks store shared.(r) ~thread;
+               let v = counters.(r) in
+               Domain.cpu_relax ();
+               counters.(r) <- v + 1;
+               Lock_pool.monitor_exit locks store shared.(r) ~thread;
+               Lock_pool.monitor_exit locks store shared.(r) ~thread
+             done;
+             for _ = 1 to allocs do
+               ignore
+                 (Store.alloc_record store ~thread ~type_id:2 ~data_bytes:24)
+             done)));
+  Alcotest.(check int) "no lost increments (mutual exclusion held)"
+    (domains * rounds)
+    (Array.fold_left ( + ) 0 counters);
+  Alcotest.(check int) "all locks returned to the pool" 0
+    (Lock_pool.locks_in_use locks);
+  Alcotest.(check int) "bit vector consistent at quiescence" 0
+    (Lock_pool.bits_in_use locks);
+  Alcotest.(check bool) "contention was real" true
+    (Lock_pool.peak_locks_in_use locks >= 1);
+  Array.iter
+    (fun a ->
+      Alcotest.(check int) "record lock field zeroed" 0
+        (Store.get_lock_field store a))
+    shared;
+  for t = 1 to domains do
+    match Store.thread_totals store ~thread:t with
+    | None -> Alcotest.fail "worker thread unregistered"
+    | Some tt ->
+        Alcotest.(check int)
+          (Printf.sprintf "thread %d allocation total" t)
+          allocs tt.Store.thread_records
+  done;
+  Alcotest.(check int) "store saw every allocation"
+    (records + (domains * allocs))
+    (Store.stats store).Store.records_allocated
+
+(* ---------- satellite: parallel-vs-sequential differential ---------- *)
+
+let outcome_fingerprint (o : Facade_vm.Interp.outcome) =
+  let result =
+    match o.Facade_vm.Interp.result with
+    | Some v -> Facade_vm.Value.to_string v
+    | None -> "-"
+  in
+  let records, live =
+    match o.Facade_vm.Interp.store_stats with
+    | Some st -> (st.Store.records_allocated, st.Store.live_pages)
+    | None -> (0, 0)
+  in
+  ( result,
+    Stats.output_lines o.Facade_vm.Interp.stats,
+    ( o.Facade_vm.Interp.facades_allocated,
+      o.Facade_vm.Interp.stats.Stats.page_records,
+      o.Facade_vm.Interp.stats.Stats.steps,
+      records,
+      live ) )
+
+let outcome_testable =
+  Alcotest.(
+    triple string (list string)
+      (pair (pair int int) (triple int int int)))
+
+let pack (result, output, (facades, page_records, steps, records, live)) =
+  (result, output, ((facades, page_records), (steps, records, live)))
+
+let test_parallel_differential () =
+  List.iter
+    (fun (s : Samples.sample) ->
+      let pl =
+        Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program
+      in
+      let seq = outcome_fingerprint (Facade_vm.Interp.run_facade pl) in
+      let w1 = outcome_fingerprint (Facade_vm.Interp.run_facade ~workers:1 pl) in
+      let w4 = outcome_fingerprint (Facade_vm.Interp.run_facade ~workers:4 pl) in
+      Alcotest.check outcome_testable
+        (s.Samples.name ^ ": workers=1 matches sequential")
+        (pack seq) (pack w1);
+      Alcotest.check outcome_testable
+        (s.Samples.name ^ ": workers=4 matches sequential")
+        (pack seq) (pack w4))
+    Samples.all
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "tasks all run" `Quick test_pool_runs_tasks;
+          Alcotest.test_case "nested spawn on 1 worker" `Quick test_sched_nested_spawn;
+          Alcotest.test_case "exception re-raised at join" `Quick test_sched_exception;
+        ] );
+      ( "bitvec",
+        [
+          Alcotest.test_case "lowest_clear pinned to scan" `Quick
+            test_lowest_clear_pinned;
+          QCheck_alcotest.to_alcotest prop_lowest_clear;
+        ] );
+      ( "exec-stats",
+        [ Alcotest.test_case "merge of split equals whole" `Quick test_stats_merge_of_split ] );
+      ( "stress",
+        [ Alcotest.test_case "multicore lock pool + store" `Quick test_multicore_stress ] );
+      ( "differential",
+        [
+          Alcotest.test_case "every sample: parallel == sequential" `Quick
+            test_parallel_differential;
+        ] );
+    ]
