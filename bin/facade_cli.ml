@@ -6,12 +6,21 @@
    facade_cli run NAME [--workers N]        - run a sample's P' on a domain pool
    facade_cli inspect NAME [--original]     - pretty-print a sample (P' by default)
    facade_cli check FILE [--json]           - verify + flow-sensitive analyses
-   facade_cli lint FILE [--data ...]        - full FACADE invariant lint *)
+   facade_cli lint FILE [--data ...]        - full FACADE invariant lint
+   facade_cli opt-report NAME [--json]      - per-pass optimizer + quickening deltas *)
 
 open Cmdliner
 
 let quick =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use reduced dataset sizes (for CI).")
+
+let no_opt =
+  Arg.(
+    value & flag
+    & info [ "no-opt" ]
+        ~doc:
+          "Disable the JIR optimizer pipeline and the post-link quickening \
+           tier; execute the facade transform's output verbatim.")
 
 (* ---------- experiments ---------- *)
 
@@ -116,7 +125,7 @@ let run_cmd =
             "Execute spawned threads on a pool of $(docv) OCaml domains \
              (work-stealing scheduler). Without it, the sequential engine runs.")
   in
-  let run name workers =
+  let run name workers no_opt =
     match find_sample name with
     | None -> `Error (true, "unknown sample " ^ name)
     | Some s -> (
@@ -126,8 +135,11 @@ let run_cmd =
             let pl =
               Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program
             in
+            let pl =
+              if no_opt then pl else fst (Opt.Driver.optimize_pipeline pl)
+            in
             let t0 = Unix.gettimeofday () in
-            let o = Facade_vm.Interp.run_facade ?workers pl in
+            let o = Facade_vm.Interp.run_facade ?workers ~quicken:(not no_opt) pl in
             let wall = Unix.gettimeofday () -. t0 in
             let result =
               match o.Facade_vm.Interp.result with
@@ -152,9 +164,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Transform a sample and execute P' in facade mode, optionally running \
-          its threads in parallel on real OCaml domains.")
-    Term.(ret (const run $ sample_arg $ workers))
+         "Transform a sample, optimize it, and execute P' in facade mode \
+          (quickened), optionally running its threads in parallel on real \
+          OCaml domains.")
+    Term.(ret (const run $ sample_arg $ workers $ no_opt))
 
 (* ---------- inspect ---------- *)
 
@@ -308,9 +321,22 @@ let findings_of_file file analyze =
       | [] -> analyze program)
 
 let check_cmd =
-  let run file json =
+  let run file json no_opt =
     let findings =
-      findings_of_file file (fun program -> Analysis.Lint.check_program program)
+      findings_of_file file (fun program ->
+          match Analysis.Lint.check_program program with
+          | _ :: _ as fs -> fs
+          | [] ->
+              (* The program is clean: also run the optimizer over it and
+                 re-check the result, so `check` catches any pass that
+                 would corrupt this input. *)
+              if no_opt then []
+              else
+                let p', _ = Opt.Driver.optimize_program program in
+                List.map
+                  (fun (f : Analysis.Finding.t) ->
+                    { f with Analysis.Finding.analysis = "opt-" ^ f.Analysis.Finding.analysis })
+                  (Analysis.Lint.verify_findings p' @ Analysis.Lint.check_program p'))
     in
     emit_findings ~file ~json findings
   in
@@ -318,8 +344,58 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Verify a jir source file: structural well-formedness plus the \
-          definite-assignment and monitor-pairing analyses.")
-    Term.(ret (const run $ jir_file_arg $ json_flag))
+          definite-assignment and monitor-pairing analyses. Unless \
+          $(b,--no-opt) is given, the optimizer pipeline then runs over the \
+          clean program and the same checks re-run on its output (findings \
+          prefixed $(b,opt-)), proving the passes preserve the invariants on \
+          this input.")
+    Term.(ret (const run $ jir_file_arg $ json_flag $ no_opt))
+
+(* ---------- opt-report ---------- *)
+
+let opt_report_cmd =
+  let run name json =
+    match find_sample name with
+    | None -> `Error (true, "unknown sample " ^ name)
+    | Some s ->
+        let pl =
+          Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program
+        in
+        let pl', rep = Opt.Driver.optimize_pipeline pl in
+        let rp = Facade_vm.Link.facade_program ~quicken:true pl' in
+        let c = Facade_vm.Quicken.counts rp in
+        if json then
+          Printf.printf
+            {|{"sample":%S,"opt":%s,"quicken":{"ic_virtual_sites":%d,"ic_field_sites":%d,"specialized_accessors":%d,"fused_pairs":%d,"imm_ops":%d}}|}
+            name
+            (Opt.Driver.report_to_json rep)
+            c.Facade_vm.Quicken.ic_virtual_sites c.Facade_vm.Quicken.ic_field_sites
+            c.Facade_vm.Quicken.specialized_accessors c.Facade_vm.Quicken.fused_pairs
+            c.Facade_vm.Quicken.imm_ops
+        else begin
+          Printf.printf "%s: %d -> %d instructions after optimization\n" name
+            rep.Opt.Driver.instrs_before rep.Opt.Driver.instrs_after;
+          List.iter
+            (fun d -> print_endline ("  " ^ Opt.Delta.to_string d))
+            rep.Opt.Driver.deltas;
+          Printf.printf
+            "quicken: %d IC virtual sites, %d IC field sites, %d specialized \
+             accessors, %d fused pairs, %d immediate ops\n"
+            c.Facade_vm.Quicken.ic_virtual_sites c.Facade_vm.Quicken.ic_field_sites
+            c.Facade_vm.Quicken.specialized_accessors c.Facade_vm.Quicken.fused_pairs
+            c.Facade_vm.Quicken.imm_ops
+        end;
+        print_newline ();
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "opt-report"
+       ~doc:
+         "Compile a sample, run the optimizer pipeline over P', and print the \
+          per-pass IR deltas (instructions removed, copies propagated, sites \
+          devirtualized, calls inlined) plus the post-link quickening site \
+          counts.")
+    Term.(ret (const run $ sample_arg $ json_flag))
 
 let lint_cmd =
   let data_roots =
@@ -392,4 +468,5 @@ let () =
             transform_cmd;
             check_cmd;
             lint_cmd;
+            opt_report_cmd;
           ]))

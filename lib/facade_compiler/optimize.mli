@@ -15,6 +15,11 @@
       evaluation path), where vertex/edge payloads are laid out inline —
       see the ablation benchmark. *)
 
+val possible_targets : Jir.Program.t -> cls:string -> name:string -> string list
+(** Concrete classes (deduped by declaring class) a virtual call on a
+    [cls]-typed receiver can dispatch to — the CHA core shared with
+    [lib/opt]'s devirtualization pass. *)
+
 val devirtualize : Jir.Program.t -> Jir.Program.t
 
 val devirtualized_calls : Jir.Program.t -> Jir.Program.t -> int

@@ -1,7 +1,8 @@
 let mix_labels =
   [|
-    "const"; "move"; "arith"; "alloc"; "field"; "static"; "array"; "call";
-    "typetest"; "monitor"; "iter"; "intrinsic"; "other";
+    "const"; "move"; "arith"; "alloc"; "field"; "static"; "array";
+    "call_direct"; "call_virtual"; "typetest"; "monitor"; "iter"; "intrinsic";
+    "other";
   |]
 
 let cat_const = 0
@@ -11,12 +12,13 @@ let cat_alloc = 3
 let cat_field = 4
 let cat_static = 5
 let cat_array = 6
-let cat_call = 7
-let cat_typetest = 8
-let cat_monitor = 9
-let cat_iter = 10
-let cat_intrinsic = 11
-let cat_other = 12
+let cat_call_direct = 7
+let cat_call_virtual = 8
+let cat_typetest = 9
+let cat_monitor = 10
+let cat_iter = 11
+let cat_intrinsic = 12
+let cat_other = 13
 
 type t = {
   mutable heap_objects : int;
@@ -29,6 +31,8 @@ type t = {
   mutable static_dispatches : int;
   mutable virtual_dispatches : int;
   mutable intrinsic_dispatches : int;
+  mutable ic_hits : int;
+  mutable ic_misses : int;
   mix : int array;
 }
 
@@ -44,6 +48,8 @@ let create () =
     static_dispatches = 0;
     virtual_dispatches = 0;
     intrinsic_dispatches = 0;
+    ic_hits = 0;
+    ic_misses = 0;
     mix = Array.make (Array.length mix_labels) 0;
   }
 
@@ -70,6 +76,8 @@ let zero t =
   t.static_dispatches <- 0;
   t.virtual_dispatches <- 0;
   t.intrinsic_dispatches <- 0;
+  t.ic_hits <- 0;
+  t.ic_misses <- 0;
   Array.fill t.mix 0 (Array.length t.mix) 0
 
 let copy t =
@@ -104,6 +112,8 @@ let merge dst src =
   dst.static_dispatches <- dst.static_dispatches + src.static_dispatches;
   dst.virtual_dispatches <- dst.virtual_dispatches + src.virtual_dispatches;
   dst.intrinsic_dispatches <- dst.intrinsic_dispatches + src.intrinsic_dispatches;
+  dst.ic_hits <- dst.ic_hits + src.ic_hits;
+  dst.ic_misses <- dst.ic_misses + src.ic_misses;
   Array.iteri (fun i n -> dst.mix.(i) <- dst.mix.(i) + n) src.mix
 
 let output_lines t = List.rev t.output

@@ -15,7 +15,8 @@ val cat_alloc : int
 val cat_field : int
 val cat_static : int
 val cat_array : int
-val cat_call : int
+val cat_call_direct : int
+val cat_call_virtual : int
 val cat_typetest : int
 val cat_monitor : int
 val cat_iter : int
@@ -33,6 +34,8 @@ type t = {
   mutable static_dispatches : int;   (** static/special calls executed *)
   mutable virtual_dispatches : int;  (** vtable dispatches executed *)
   mutable intrinsic_dispatches : int;  (** pre-bound intrinsic invocations *)
+  mutable ic_hits : int;             (** quickened inline-cache hits *)
+  mutable ic_misses : int;           (** quickened inline-cache misses/refills *)
   mix : int array;                   (** per-category instruction counts *)
 }
 

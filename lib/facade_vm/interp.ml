@@ -512,6 +512,8 @@ let rec run_body st (m : R.meth) (frame : Value.t array) : Value.t option =
     | R.Rret s -> Some frame.(s)
     | R.Rjump t -> go t
     | R.Rbranch (s, t, e) -> go (if Value.truthy frame.(s) then t else e)
+    | R.Rcmp_branch (op, x, y, t, e) ->
+        go (if Value.truthy (arith op (operand frame x) (operand frame y)) then t else e)
   in
   go 0
 
@@ -653,6 +655,156 @@ and exec st (frame : Value.t array) ins =
       st.stats.Exec_stats.intrinsic_dispatches <- st.stats.Exec_stats.intrinsic_dispatches + 1;
       exec_intrinsic st frame ret i ops
   | R.Rerror msg -> raise (Vm_error msg)
+  (* ---- quickened forms ---- *)
+  | R.Rcall_virtual_ic (ret, mid, r, args, ic) ->
+      stats.Exec_stats.virtual_dispatches <- stats.Exec_stats.virtual_dispatches + 1;
+      let recv = frame.(r) in
+      let cid = dispatch_cid st recv st.rp.R.method_names.(mid) in
+      let key = ic.R.ic_key in
+      let midx =
+        if key >= 0 && key lsr 20 = cid then begin
+          (* Cache hit: same receiver class resolved here before, so the
+             abstract/arity checks that passed at fill time still hold. *)
+          stats.Exec_stats.ic_hits <- stats.Exec_stats.ic_hits + 1;
+          key land R.ic_payload_mask
+        end
+        else begin
+          stats.Exec_stats.ic_misses <- stats.Exec_stats.ic_misses + 1;
+          let c = st.rp.R.classes.(cid) in
+          let midx = c.R.c_vtable.(mid) in
+          if midx < 0 then
+            vm_err "NoSuchMethodError: %s.%s" c.R.c_name st.rp.R.method_names.(mid);
+          let m = st.rp.R.methods.(midx) in
+          if Array.length m.R.m_body = 0 then
+            vm_err "AbstractMethodError: %s.%s" c.R.c_name m.R.m_name;
+          if Array.length args <> m.R.m_nparams then
+            vm_err "arity mismatch calling %s.%s (%d args)" c.R.c_name m.R.m_name
+              (Array.length args);
+          ic.R.ic_key <- R.ic_pack ~cid ~payload:midx;
+          midx
+        end
+      in
+      let m = st.rp.R.methods.(midx) in
+      let f = Array.copy m.R.m_frame in
+      f.(0) <- recv;
+      Array.iteri (fun i s -> f.(i + 1) <- frame.(s)) args;
+      store_ret frame ret (run_body st m f)
+  | R.Rfield_load_ic (d, o, fid, ic) -> (
+      match frame.(o) with
+      | Value.Obj ob ->
+          let cid = ob.Value.ocid in
+          let key = ic.R.ic_key in
+          let slot =
+            if cid >= 0 && key >= 0 && key lsr 20 = cid then begin
+              stats.Exec_stats.ic_hits <- stats.Exec_stats.ic_hits + 1;
+              key land R.ic_payload_mask
+            end
+            else begin
+              stats.Exec_stats.ic_misses <- stats.Exec_stats.ic_misses + 1;
+              let slot = field_slot st ob fid in
+              (* Only linked classes have a cid to key the cache on. *)
+              if cid >= 0 then ic.R.ic_key <- R.ic_pack ~cid ~payload:slot;
+              slot
+            end
+          in
+          frame.(d) <- ob.Value.fields.(slot)
+      | Value.Null -> vm_err "NullPointerException: .%s" st.rp.R.field_names.(fid)
+      | w -> vm_err "field load from %s" (Value.to_string w))
+  | R.Rfield_store_ic (o, fid, s, ic) -> (
+      match frame.(o) with
+      | Value.Obj ob ->
+          let cid = ob.Value.ocid in
+          let key = ic.R.ic_key in
+          let slot =
+            if cid >= 0 && key >= 0 && key lsr 20 = cid then begin
+              stats.Exec_stats.ic_hits <- stats.Exec_stats.ic_hits + 1;
+              key land R.ic_payload_mask
+            end
+            else begin
+              stats.Exec_stats.ic_misses <- stats.Exec_stats.ic_misses + 1;
+              let slot = field_slot st ob fid in
+              if cid >= 0 then ic.R.ic_key <- R.ic_pack ~cid ~payload:slot;
+              slot
+            end
+          in
+          ob.Value.fields.(slot) <- frame.(s)
+      | Value.Null -> vm_err "NullPointerException: .%s" st.rp.R.field_names.(fid)
+      | w -> vm_err "field store to %s" (Value.to_string w))
+  | R.Rbinop_imm (d, op, x, v) -> frame.(d) <- arith op frame.(x) v
+  | R.Rmul_add (d, x, y, z) ->
+      (* z <> d is guaranteed by the fuser, so reading z after the
+         intermediate product would see the same value either way. *)
+      frame.(d) <- arith Ir.Add (arith Ir.Mul frame.(x) frame.(y)) frame.(z)
+  | R.Rmul_add_imm (d, x, v, z) ->
+      frame.(d) <- arith Ir.Add (arith Ir.Mul frame.(x) v) frame.(z)
+  | R.Rget (d, a, p, off) ->
+      stats.Exec_stats.intrinsic_dispatches <- stats.Exec_stats.intrinsic_dispatches + 1;
+      let rt = the_rt st in
+      frame.(d) <- store_get rt a (addr_of (check_nonnull frame.(p))) ~offset:off
+  | R.Rset (a, p, off, src) ->
+      stats.Exec_stats.intrinsic_dispatches <- stats.Exec_stats.intrinsic_dispatches + 1;
+      let rt = the_rt st in
+      store_set rt a (addr_of (check_nonnull frame.(p))) ~offset:off (operand frame src)
+  | R.Raget (d, a, p, eb, idx) ->
+      stats.Exec_stats.intrinsic_dispatches <- stats.Exec_stats.intrinsic_dispatches + 1;
+      let rt = the_rt st in
+      let addr = addr_of (check_nonnull frame.(p)) in
+      let i = as_int (operand frame idx) in
+      if i < 0 || i >= Store.array_length rt.store addr then
+        vm_err "ArrayIndexOutOfBoundsException: %d" i;
+      frame.(d) <-
+        store_get rt a addr ~offset:(Store.array_elem_offset ~elem_bytes:eb ~index:i)
+  | R.Raset (a, p, eb, idx, src) ->
+      stats.Exec_stats.intrinsic_dispatches <- stats.Exec_stats.intrinsic_dispatches + 1;
+      let rt = the_rt st in
+      let addr = addr_of (check_nonnull frame.(p)) in
+      let i = as_int (operand frame idx) in
+      if i < 0 || i >= Store.array_length rt.store addr then
+        vm_err "ArrayIndexOutOfBoundsException: %d" i;
+      store_set rt a addr
+        ~offset:(Store.array_elem_offset ~elem_bytes:eb ~index:i)
+        (operand frame src)
+  | R.Rget_bin (d, a, p, off, op, s) ->
+      stats.Exec_stats.intrinsic_dispatches <- stats.Exec_stats.intrinsic_dispatches + 1;
+      let rt = the_rt st in
+      let x = store_get rt a (addr_of (check_nonnull frame.(p))) ~offset:off in
+      frame.(d) <- arith op x (operand frame s)
+  | R.Rrmw (a, p, off, op, s) ->
+      stats.Exec_stats.intrinsic_dispatches <- stats.Exec_stats.intrinsic_dispatches + 1;
+      let rt = the_rt st in
+      let addr = addr_of (check_nonnull frame.(p)) in
+      let x = store_get rt a addr ~offset:off in
+      store_set rt a addr ~offset:off (arith op x (operand frame s))
+  | R.Raget_get (d, arr, eb, idx, a, off) ->
+      stats.Exec_stats.intrinsic_dispatches <- stats.Exec_stats.intrinsic_dispatches + 1;
+      let rt = the_rt st in
+      let addr = addr_of (check_nonnull frame.(arr)) in
+      let i = as_int (operand frame idx) in
+      if i < 0 || i >= Store.array_length rt.store addr then
+        vm_err "ArrayIndexOutOfBoundsException: %d" i;
+      let w =
+        store_get rt R.A_i64 addr
+          ~offset:(Store.array_elem_offset ~elem_bytes:eb ~index:i)
+      in
+      frame.(d) <- store_get rt a (addr_of (check_nonnull w)) ~offset:off
+  | R.Raget_aget (d, a, arr1, eb1, idx, arr2, eb2) ->
+      stats.Exec_stats.intrinsic_dispatches <- stats.Exec_stats.intrinsic_dispatches + 1;
+      let rt = the_rt st in
+      let addr1 = addr_of (check_nonnull frame.(arr1)) in
+      let i = as_int (operand frame idx) in
+      if i < 0 || i >= Store.array_length rt.store addr1 then
+        vm_err "ArrayIndexOutOfBoundsException: %d" i;
+      let t =
+        store_get rt R.A_i32 addr1
+          ~offset:(Store.array_elem_offset ~elem_bytes:eb1 ~index:i)
+      in
+      let addr2 = addr_of (check_nonnull frame.(arr2)) in
+      let j = as_int t in
+      if j < 0 || j >= Store.array_length rt.store addr2 then
+        vm_err "ArrayIndexOutOfBoundsException: %d" j;
+      frame.(d) <-
+        store_get rt a addr2
+          ~offset:(Store.array_elem_offset ~elem_bytes:eb2 ~index:j)
 
 and store_ret frame ret res =
   match ret with
@@ -971,15 +1123,18 @@ let make_st ?par rp mode heap max_steps thread =
     join = None;
   }
 
-let run_object ?heap ?(is_data = fun _ -> false) ?(max_steps = default_max_steps)
-    ?(entry_args = []) p =
-  let rp = Link.object_program ~is_data p in
+let run_object_linked ?heap ?(max_steps = default_max_steps) ?(entry_args = []) rp =
   let st = make_st rp Object_mode heap max_steps 0 in
   run_entry st ~entry_args
 
+let run_object ?heap ?(is_data = fun _ -> false) ?(max_steps = default_max_steps)
+    ?(entry_args = []) ?(quicken = false) p =
+  run_object_linked ?heap ~max_steps ~entry_args
+    (Link.object_program ~is_data ~quicken p)
+
 let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
-    ?(entry_args = []) (pl : Facade_compiler.Pipeline.t) =
-  let rp = Link.facade_program pl in
+    ?(entry_args = []) ?(quicken = false) (pl : Facade_compiler.Pipeline.t) =
+  let rp = Link.facade_program ~quicken pl in
   let store = Store.create ?page_bytes () in
   let thread = 0 in
   Store.register_thread store thread;

@@ -42,10 +42,26 @@ val run_object :
   ?is_data:(string -> bool) ->
   ?max_steps:int ->
   ?entry_args:Value.t list ->
+  ?quicken:bool ->
   Jir.Program.t ->
   outcome
 (** Execute a program's entry point in object mode. [max_steps] defaults
-    to 50 million. *)
+    to 50 million. [quicken] (default [false]) runs the {!Quicken}
+    rewrite — inline caches, specialized accessors, superinstructions —
+    over the linked form first; results and output are unchanged but step
+    counts shrink, so differential tests against {!Interp_baseline} keep
+    it off. *)
+
+val run_object_linked :
+  ?heap:Heapsim.Heap.t ->
+  ?max_steps:int ->
+  ?entry_args:Value.t list ->
+  Resolved.program ->
+  outcome
+(** As {!run_object} on an already-linked (and possibly quickened)
+    program, so callers that execute the same program repeatedly — the
+    benchmarks, warm services — pay {!Link.object_program} once instead
+    of per run. *)
 
 val run_facade :
   ?heap:Heapsim.Heap.t ->
@@ -53,9 +69,12 @@ val run_facade :
   ?page_bytes:int ->
   ?workers:int ->
   ?entry_args:Value.t list ->
+  ?quicken:bool ->
   Facade_compiler.Pipeline.t ->
   outcome
 (** Execute a compiled pipeline's transformed program in facade mode.
+    [quicken] is as for {!run_object}; the quickened form is derived once
+    per pipeline and cached beside the base link.
 
     With [?workers:n], a pool of [n] OCaml domains executes spawned
     logical threads in parallel: each [run_thread] enqueues the runnable

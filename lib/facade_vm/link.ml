@@ -509,18 +509,34 @@ let link ?(is_data = fun _ -> false) ?layout (p : Program.t) : R.program =
     n_tids;
   }
 
-let object_program ?is_data p = link ?is_data p
+let object_program ?is_data ?(quicken = false) p =
+  let rp = link ?is_data p in
+  if quicken then Quicken.program rp else rp
 
 (* The pipeline owns P′, so it also caches the linked form: the first run
-   links, later runs reuse. *)
-type Pipeline.artifact += Linked of R.program
+   links, later runs reuse. The quickened tier is derived lazily from the
+   base form and cached beside it — both can coexist because quickening
+   never mutates the base program's arrays. *)
+type cache = { base : R.program; mutable quick : R.program option }
 
-let facade_program (pl : Pipeline.t) =
+type Pipeline.artifact += Linked of cache
+
+let facade_cache (pl : Pipeline.t) =
   match Pipeline.artifact pl with
-  | Some (Linked rp) -> rp
+  | Some (Linked c) -> c
   | Some _ | None ->
-      let rp =
-        link ~layout:pl.Pipeline.layout pl.Pipeline.transformed
-      in
-      Pipeline.set_artifact pl (Linked rp);
-      rp
+      let rp = link ~layout:pl.Pipeline.layout pl.Pipeline.transformed in
+      let c = { base = rp; quick = None } in
+      Pipeline.set_artifact pl (Linked c);
+      c
+
+let facade_program ?(quicken = false) (pl : Pipeline.t) =
+  let c = facade_cache pl in
+  if not quicken then c.base
+  else
+    match c.quick with
+    | Some q -> q
+    | None ->
+        let q = Quicken.program c.base in
+        c.quick <- Some q;
+        q

@@ -6,14 +6,17 @@
     accepts everything the name-based interpreter would have run. *)
 
 val object_program :
-  ?is_data:(string -> bool) -> Jir.Program.t -> Resolved.program
+  ?is_data:(string -> bool) -> ?quicken:bool -> Jir.Program.t -> Resolved.program
 (** Link a program for object-mode execution. The [is_data] predicate is
     baked into allocation sites (it drives heap-lifetime charging), so a
-    fresh link is produced per predicate. *)
+    fresh link is produced per predicate. [quicken] (default [false])
+    additionally runs the {!Quicken} rewrite over the linked form. *)
 
-val facade_program : Facade_compiler.Pipeline.t -> Resolved.program
+val facade_program :
+  ?quicken:bool -> Facade_compiler.Pipeline.t -> Resolved.program
 (** Link a pipeline's transformed program P′ for facade-mode execution,
     including the layout-derived tables (tid → class, element widths, the
     record-cast matrix). The result is memoized on the pipeline via
-    {!Facade_compiler.Pipeline.set_artifact}: the first run links, later
-    runs reuse. *)
+    {!Facade_compiler.Pipeline.set_artifact}; with [quicken:true]
+    (default [false]) the {!Quicken}-rewritten form is returned, derived
+    once from the cached base link and cached beside it. *)

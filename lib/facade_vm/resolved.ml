@@ -45,6 +45,18 @@ type intrinsic =
 
 type operand = Oslot of slot | Oconst of Value.t
 
+(* A monomorphic inline cache (the quickening tier). The cached class id
+   and its payload (method index or field slot) are packed into ONE
+   mutable immediate int — [(cid lsl 20) lor payload], -1 when empty — so
+   concurrent domains executing the same shared instruction array can
+   never observe a torn cid/payload pair: reads and writes of an
+   immediate record field are single-word. *)
+type ic = { mutable ic_key : int }
+
+let ic_empty () = { ic_key = -1 }
+let ic_pack ~cid ~payload = (cid lsl 20) lor payload
+let ic_payload_mask = (1 lsl 20) - 1
+
 (* A type test with its per-class outcome precomputed: [t_cid_ok.(cid)]
    answers instanceof for any object or facade of linked class [cid].
    Arrays fall back to the structural check on [t_ty]. *)
@@ -95,12 +107,47 @@ type instr =
          intrinsic, arity mismatch). Raises only if actually executed, so
          lowering preserves the lazy failure semantics of the name-based
          interpreter. *)
+  (* ---- quickened forms (emitted by {!Quicken}, never by the linker) ---- *)
+  | Rcall_virtual_ic of slot option * int * slot * slot array * ic
+      (* vtable dispatch with a monomorphic inline cache on (cid, midx) *)
+  | Rfield_load_ic of slot * slot * int * ic
+      (* field access caching (cid, field slot) *)
+  | Rfield_store_ic of slot * int * slot * ic
+  | Rbinop_imm of slot * Ir.binop * slot * Value.t
+      (* right operand promoted from a once-assigned constant slot *)
+  | Rmul_add of slot * slot * slot * slot
+      (* fused [d = x*y; d = d+z] — the array-indexing idiom *)
+  | Rmul_add_imm of slot * slot * Value.t * slot
+      (* [d = x*imm + z], the same idiom after the stride was promoted
+         to an immediate *)
+  | Rget of slot * acc * slot * int
+      (* offset-specialized rt.get_*: dst, access, page slot, byte offset *)
+  | Rset of acc * slot * int * operand
+  | Raget of slot * acc * slot * int * operand
+      (* dst, access, page slot, elem bytes, index *)
+  | Raset of acc * slot * int * operand * operand
+  | Rget_bin of slot * acc * slot * int * Ir.binop * operand
+      (* fused getfield+arith: d = get(page, off) op operand *)
+  | Rrmw of acc * slot * int * Ir.binop * operand
+      (* fused accumulate: page[off] = page[off] op operand, from a
+         get_bin+set pair over the same page and offset whose destination
+         slot is dead *)
+  | Raget_get of slot * slot * int * operand * acc * int
+      (* fused aget_ref+get over a dead intermediate:
+         d = get(arr[idx], off); fields: dst, array page, elem bytes,
+         index, inner access, inner offset *)
+  | Raget_aget of slot * acc * slot * int * operand * slot * int
+      (* fused index-chase over a dead intermediate:
+         d = arr2[arr1[idx]]; fields: dst, outer access, arr1 page,
+         arr1 elem bytes, idx, arr2 page, arr2 elem bytes *)
 
 type term =
   | Rret_void
   | Rret of slot
   | Rjump of int
   | Rbranch of slot * int * int
+  | Rcmp_branch of Ir.binop * operand * operand * int * int
+      (* fused compare+branch over a dead condition slot (quickened) *)
 
 type block = {
   code : instr array;
@@ -167,14 +214,19 @@ let n_classes p = Array.length p.classes
 let category = function
   | Rconst _ -> Exec_stats.cat_const
   | Rmove _ -> Exec_stats.cat_move
-  | Rbinop _ | Rneg _ | Rnot _ -> Exec_stats.cat_arith
+  | Rbinop _ | Rneg _ | Rnot _ | Rbinop_imm _ | Rmul_add _ | Rmul_add_imm _ ->
+      Exec_stats.cat_arith
   | Rnew _ | Rnew_array _ -> Exec_stats.cat_alloc
-  | Rfield_load _ | Rfield_store _ -> Exec_stats.cat_field
+  | Rfield_load _ | Rfield_store _ | Rfield_load_ic _ | Rfield_store_ic _ ->
+      Exec_stats.cat_field
   | Rstatic_load _ | Rstatic_store _ -> Exec_stats.cat_static
   | Rarray_load _ | Rarray_store _ | Rarray_length _ -> Exec_stats.cat_array
-  | Rcall _ | Rcall_virtual _ -> Exec_stats.cat_call
+  | Rcall _ -> Exec_stats.cat_call_direct
+  | Rcall_virtual _ | Rcall_virtual_ic _ -> Exec_stats.cat_call_virtual
   | Rinstance_of _ | Rcast _ -> Exec_stats.cat_typetest
   | Rmonitor_enter _ | Rmonitor_exit _ -> Exec_stats.cat_monitor
   | Riter_start | Riter_end -> Exec_stats.cat_iter
-  | Rintrinsic _ | Rrun_thread _ -> Exec_stats.cat_intrinsic
+  | Rintrinsic _ | Rrun_thread _ | Rget _ | Rset _ | Raget _ | Raset _
+  | Rget_bin _ | Rrmw _ | Raget_get _ | Raget_aget _ ->
+      Exec_stats.cat_intrinsic
   | Rerror _ -> Exec_stats.cat_other

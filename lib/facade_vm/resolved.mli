@@ -46,6 +46,17 @@ type intrinsic =
 
 type operand = Oslot of slot | Oconst of Value.t
 
+(** A monomorphic inline cache (the quickening tier). The cached class
+    id and its payload (method index or field slot) are packed into one
+    mutable immediate int — [(cid lsl 20) lor payload], [-1] when empty —
+    so concurrent domains sharing an instruction array can never observe
+    a torn cid/payload pair. *)
+type ic = { mutable ic_key : int }
+
+val ic_empty : unit -> ic
+val ic_pack : cid:int -> payload:int -> int
+val ic_payload_mask : int
+
 (** A type test with its per-class outcome precomputed:
     [t_cid_ok.(cid)] answers instanceof for any object or facade of
     linked class [cid]. Arrays fall back to the structural check on
@@ -97,12 +108,49 @@ type instr =
           static, intrinsic, arity mismatch). Raises only if actually
           executed, preserving the lazy failure semantics of the
           name-based interpreter. *)
+  (* quickened forms, emitted by {!Quicken} and never by the linker: *)
+  | Rcall_virtual_ic of slot option * int * slot * slot array * ic
+      (** vtable dispatch with a monomorphic inline cache on
+          (cid, method index) *)
+  | Rfield_load_ic of slot * slot * int * ic
+      (** field access caching (cid, field slot) *)
+  | Rfield_store_ic of slot * int * slot * ic
+  | Rbinop_imm of slot * Ir.binop * slot * Value.t
+      (** right operand promoted from a once-assigned constant slot *)
+  | Rmul_add of slot * slot * slot * slot
+      (** fused [d = x*y; d = d+z] — the array-indexing idiom *)
+  | Rmul_add_imm of slot * slot * Value.t * slot
+      (** [d = x*imm + z], the same idiom after the stride was promoted
+          to an immediate *)
+  | Rget of slot * acc * slot * int
+      (** offset-specialized [rt.get_*]: dst, access, page slot, byte
+          offset *)
+  | Rset of acc * slot * int * operand
+  | Raget of slot * acc * slot * int * operand
+      (** dst, access, page slot, elem bytes, index *)
+  | Raset of acc * slot * int * operand * operand
+  | Rget_bin of slot * acc * slot * int * Ir.binop * operand
+      (** fused getfield+arith: [d = get(page, off) op operand] *)
+  | Rrmw of acc * slot * int * Ir.binop * operand
+      (** fused accumulate: [page[off] = page[off] op operand], from a
+          get_bin+set pair over the same page and offset whose
+          destination slot is dead *)
+  | Raget_get of slot * slot * int * operand * acc * int
+      (** fused aget_ref+get over a dead intermediate:
+          [d = get(arr[idx], off)]; fields: dst, array page, elem bytes,
+          index, inner access, inner offset *)
+  | Raget_aget of slot * acc * slot * int * operand * slot * int
+      (** fused index-chase over a dead intermediate:
+          [d = arr2[arr1[idx]]]; fields: dst, outer access, arr1 page,
+          arr1 elem bytes, idx, arr2 page, arr2 elem bytes *)
 
 type term =
   | Rret_void
   | Rret of slot
   | Rjump of int
   | Rbranch of slot * int * int
+  | Rcmp_branch of Ir.binop * operand * operand * int * int
+      (** fused compare+branch over a dead condition slot (quickened) *)
 
 type block = { code : instr array; term : term }
 

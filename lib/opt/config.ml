@@ -1,0 +1,25 @@
+(* Every pass is independently toggleable so the differential tests and
+   `facade_cli opt-report` can attribute wins (and bugs) to one pass. *)
+
+type t = {
+  const_fold : bool;   (* sparse conditional constant propagation + branch folding *)
+  copy_prop : bool;
+  dce : bool;
+  devirt : bool;       (* class-hierarchy-analysis devirtualization *)
+  inline : bool;       (* leaf-method inlining, same-side only *)
+  inline_budget : int; (* max callee instructions eligible for inlining *)
+}
+
+let default =
+  { const_fold = true; copy_prop = true; dce = true; devirt = true;
+    inline = true; inline_budget = 8 }
+
+let none =
+  { const_fold = false; copy_prop = false; dce = false; devirt = false;
+    inline = false; inline_budget = 0 }
+
+let only_const_fold = { none with const_fold = true }
+let only_copy_prop = { none with copy_prop = true }
+let only_dce = { none with dce = true }
+let only_devirt = { none with devirt = true }
+let only_inline = { none with inline = true; inline_budget = default.inline_budget }

@@ -1,0 +1,42 @@
+open Jir
+
+(* Class-hierarchy-analysis devirtualization with per-site counting: a
+   Virtual call whose receiver hierarchy resolves to exactly one concrete
+   target becomes a Special call, so the linker emits a direct Rcall and
+   the VM skips vtable dispatch. Sound because the class set is closed —
+   see DESIGN §10 for the rt.runThread argument. Shares the candidate
+   enumeration with Facade_compiler.Optimize. *)
+
+let run p =
+  let count = ref 0 in
+  let p' =
+    List.fold_left
+      (fun acc (c : Ir.cls) ->
+        let meths =
+          List.map
+            (fun m ->
+              Ir.map_blocks
+                (fun _ (blk : Ir.block) ->
+                  let instrs =
+                    List.map
+                      (fun ins ->
+                        match ins with
+                        | Ir.Call (ret, Ir.Virtual, cls, name, recv, args) -> (
+                            match
+                              Facade_compiler.Optimize.possible_targets p ~cls ~name
+                            with
+                            | [ only ] ->
+                                incr count;
+                                Ir.Call (ret, Ir.Special, only, name, recv, args)
+                            | _ -> ins)
+                        | _ -> ins)
+                      blk.Ir.instrs
+                  in
+                  { blk with Ir.instrs })
+                m)
+            c.Ir.cmethods
+        in
+        Program.replace_class acc { c with Ir.cmethods = meths })
+      p (Program.classes p)
+  in
+  (p', !count)

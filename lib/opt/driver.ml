@@ -1,0 +1,118 @@
+open Jir
+module Pipeline = Facade_compiler.Pipeline
+
+(* The pass driver. [optimize_program] is the raw JIR pipeline;
+   [optimize_pipeline] wraps it for FACADE-transformed programs: it
+   optimizes P′ between the facade transform and linking, restricts
+   inlining to one side of the control/data boundary, and then re-proves
+   the FACADE invariants (structural verification, the PR-1 boundary-leak
+   linter, and the pipeline's own post-transform validation). A pass that
+   breaks an invariant raises {!Pipeline.Invalid_transform} — an
+   optimizer bug must never reach the VM. *)
+
+type report = {
+  deltas : Delta.t list;
+  instrs_before : int;
+  instrs_after : int;
+}
+
+let report_to_json r =
+  Printf.sprintf {|{"instrs_before":%d,"instrs_after":%d,"passes":[%s]}|}
+    r.instrs_before r.instrs_after
+    (String.concat "," (List.map Delta.to_json r.deltas))
+
+let run_pass name metric enabled f (p, deltas) =
+  if not enabled then (p, deltas)
+  else begin
+    let before = Program.total_instrs p in
+    let p', count = f p in
+    let after = Program.total_instrs p' in
+    ( p',
+      { Delta.pass = name; instrs_before = before; instrs_after = after; metric; count }
+      :: deltas )
+  end
+
+let optimize_program ?(config = Config.default) ?(may_inline = fun _ _ -> true) p =
+  let instrs_before = Program.total_instrs p in
+  let acc = (p, []) in
+  let acc = run_pass "const_fold" "folded" config.Config.const_fold Const_fold.run acc in
+  let acc = run_pass "copy_prop" "copies" config.Config.copy_prop Copy_prop.run acc in
+  let acc = run_pass "dce" "removed" config.Config.dce Dce.run acc in
+  let acc = run_pass "devirt" "devirtualized" config.Config.devirt Devirt.run acc in
+  let acc =
+    run_pass "inline" "inlined" config.Config.inline
+      (Inline.run ~budget:config.Config.inline_budget ~may_inline)
+      acc
+  in
+  (* Cleanup round: the inliner leaves parameter moves and constant
+     returns behind; sweep them with the same (toggle-respecting) passes. *)
+  let acc =
+    if config.Config.inline then begin
+      let acc = run_pass "copy_prop'" "copies" config.Config.copy_prop Copy_prop.run acc in
+      let acc = run_pass "const_fold'" "folded" config.Config.const_fold Const_fold.run acc in
+      run_pass "dce'" "removed" config.Config.dce Dce.run acc
+    end
+    else acc
+  in
+  let p', deltas = acc in
+  ( p',
+    { deltas = List.rev deltas; instrs_before; instrs_after = Program.total_instrs p' }
+  )
+
+(* Inlining never crosses the control/data boundary: facade classes (and
+   everything classified data) are one side, control code the other. *)
+let data_side cl cls =
+  Facade_compiler.Classify.is_data_class cl cls
+  || String.ends_with ~suffix:"$Facade" cls
+
+let boundary_may_inline cl caller callee = data_side cl caller = data_side cl callee
+
+let invariant_findings (pl : Pipeline.t) p' =
+  let fatal (f : Analysis.Finding.t) =
+    String.equal f.Analysis.Finding.analysis "verify"
+    || String.equal f.Analysis.Finding.analysis "boundary-leak"
+  in
+  let findings =
+    Analysis.Lint.verify_findings p'
+    @ Analysis.Lint.check_program ~classification:pl.Pipeline.classification p'
+  in
+  let lint_errs =
+    List.filter_map
+      (fun (f : Analysis.Finding.t) ->
+        if fatal f then
+          Some
+            {
+              Pipeline.vwhere = f.Analysis.Finding.where;
+              vwhat =
+                Printf.sprintf "[%s] %s" f.Analysis.Finding.analysis
+                  f.Analysis.Finding.what;
+            }
+        else None)
+      findings
+  in
+  Pipeline.validate_transformed pl.Pipeline.classification pl.Pipeline.bounds p'
+  @ lint_errs
+
+(* [extra_passes] exists for the regression tests: inject a deliberately
+   invariant-breaking pass and watch the driver refuse it. *)
+let optimize_pipeline ?(config = Config.default)
+    ?(extra_passes : (string * (Program.t -> Program.t)) list = [])
+    (pl : Pipeline.t) =
+  let may_inline = boundary_may_inline pl.Pipeline.classification in
+  let p', rep = optimize_program ~config ~may_inline pl.Pipeline.transformed in
+  let p', deltas =
+    List.fold_left
+      (fun acc (name, f) -> run_pass name "changed" true (fun p -> (f p, 0)) acc)
+      (p', List.rev rep.deltas) extra_passes
+  in
+  let rep =
+    { rep with deltas = List.rev deltas; instrs_after = Program.total_instrs p' }
+  in
+  (match invariant_findings pl p' with
+  | [] -> ()
+  | errs -> raise (Pipeline.Invalid_transform errs));
+  let pl' =
+    { pl with Pipeline.transformed = p'; instrs_out = Program.total_instrs p';
+      artifact = None }
+  in
+  (pl', rep)

@@ -1,0 +1,57 @@
+open Jir
+
+(* Variable substitution over instructions, split into "uses only" (copy
+   propagation must not rewrite the defined variable) and "everything"
+   (the inliner alpha-renames whole bodies). *)
+
+let operand f = function Ir.Var v -> Ir.Var (f v) | Ir.Imm _ as o -> o
+
+let uses_instr f = function
+  | Ir.Const _ as i -> i
+  | Ir.Move (d, s) -> Ir.Move (d, f s)
+  | Ir.Binop (d, op, x, y) -> Ir.Binop (d, op, f x, f y)
+  | Ir.Unop (d, op, x) -> Ir.Unop (d, op, f x)
+  | Ir.New _ as i -> i
+  | Ir.New_array (d, t, n) -> Ir.New_array (d, t, f n)
+  | Ir.Field_load (d, o, fld) -> Ir.Field_load (d, f o, fld)
+  | Ir.Field_store (o, fld, s) -> Ir.Field_store (f o, fld, f s)
+  | Ir.Static_load _ as i -> i
+  | Ir.Static_store (c, g, s) -> Ir.Static_store (c, g, f s)
+  | Ir.Array_load (d, a, i) -> Ir.Array_load (d, f a, f i)
+  | Ir.Array_store (a, i, s) -> Ir.Array_store (f a, f i, f s)
+  | Ir.Array_length (d, a) -> Ir.Array_length (d, f a)
+  | Ir.Call (ret, k, c, n, recv, args) ->
+      Ir.Call (ret, k, c, n, Option.map f recv, List.map f args)
+  | Ir.Instance_of (d, s, t) -> Ir.Instance_of (d, f s, t)
+  | Ir.Cast (d, s, t) -> Ir.Cast (d, f s, t)
+  | Ir.Monitor_enter v -> Ir.Monitor_enter (f v)
+  | Ir.Monitor_exit v -> Ir.Monitor_exit (f v)
+  | (Ir.Iter_start | Ir.Iter_end) as i -> i
+  | Ir.Intrinsic (ret, n, ops) -> Ir.Intrinsic (ret, n, List.map (operand f) ops)
+
+let uses_term f = function
+  | Ir.Ret (Some v) -> Ir.Ret (Some (f v))
+  | Ir.Ret None as t -> t
+  | Ir.Jump _ as t -> t
+  | Ir.Branch (v, a, b) -> Ir.Branch (f v, a, b)
+
+let rename_instr f ins =
+  let ins = uses_instr f ins in
+  match ins with
+  | Ir.Const (d, c) -> Ir.Const (f d, c)
+  | Ir.Move (d, s) -> Ir.Move (f d, s)
+  | Ir.Binop (d, op, x, y) -> Ir.Binop (f d, op, x, y)
+  | Ir.Unop (d, op, x) -> Ir.Unop (f d, op, x)
+  | Ir.New (d, c) -> Ir.New (f d, c)
+  | Ir.New_array (d, t, n) -> Ir.New_array (f d, t, n)
+  | Ir.Field_load (d, o, fld) -> Ir.Field_load (f d, o, fld)
+  | Ir.Static_load (d, c, g) -> Ir.Static_load (f d, c, g)
+  | Ir.Array_load (d, a, i) -> Ir.Array_load (f d, a, i)
+  | Ir.Array_length (d, a) -> Ir.Array_length (f d, a)
+  | Ir.Call (ret, k, c, n, recv, args) -> Ir.Call (Option.map f ret, k, c, n, recv, args)
+  | Ir.Instance_of (d, s, t) -> Ir.Instance_of (f d, s, t)
+  | Ir.Cast (d, s, t) -> Ir.Cast (f d, s, t)
+  | Ir.Intrinsic (ret, n, ops) -> Ir.Intrinsic (Option.map f ret, n, ops)
+  | Ir.Field_store _ | Ir.Static_store _ | Ir.Array_store _ | Ir.Monitor_enter _
+  | Ir.Monitor_exit _ | Ir.Iter_start | Ir.Iter_end ->
+      ins

@@ -99,7 +99,9 @@ let test_stats_merge_of_split () =
     Stats.note_pool_use s ~type_id:9 ~index:1;
     s.Stats.steps <- s.Stats.steps + 3;
     s.Stats.virtual_dispatches <- s.Stats.virtual_dispatches + 2;
-    s.Stats.mix.(Stats.cat_call) <- s.Stats.mix.(Stats.cat_call) + 1;
+    s.Stats.mix.(Stats.cat_call_virtual) <- s.Stats.mix.(Stats.cat_call_virtual) + 1;
+    s.Stats.ic_hits <- s.Stats.ic_hits + 5;
+    s.Stats.ic_misses <- s.Stats.ic_misses + 1;
     s.Stats.output <- "third" :: s.Stats.output
   in
   let whole = Stats.create () in
