@@ -432,27 +432,57 @@ let run_scalability ~quick =
 
 (* ---------- entry point ---------- *)
 
+(* Pull "--trace FILE" out of the argument list, if present. *)
+let split_trace args =
+  let rec go acc = function
+    | "--trace" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | "--trace" :: [] ->
+        prerr_endline "--trace needs a FILE argument";
+        exit 2
+    | a :: rest -> go (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  go [] args
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
-  let named =
-    List.filter (fun a -> a <> "--quick" && a <> Sys.argv.(0)) (List.tl args)
+  let trace, named =
+    split_trace
+      (List.filter (fun a -> a <> "--quick" && a <> Sys.argv.(0)) (List.tl args))
   in
-  match named with
-  | [] ->
-      ignore (Experiments.Harness.run ~quick Experiments.Harness.All);
-      print_newline ();
-      run_micro ()
-  | [ "micro" ] -> run_micro ()
-  | [ "vm" ] -> run_vm ~quick
-  | [ "scalability" ] -> run_scalability ~quick
-  | [ name ] -> (
-      match Experiments.Harness.selection_of_string name with
-      | Some sel -> ignore (Experiments.Harness.run ~quick sel)
-      | None ->
-          Printf.eprintf "unknown experiment %s; one of: %s|micro|vm|scalability\n" name
-            (String.concat "|" Experiments.Harness.selection_names);
-          exit 2)
-  | _ ->
-      prerr_endline "usage: main.exe [experiment] [--quick]";
-      exit 2
+  let tracer =
+    match trace with
+    | Some _ ->
+        let tr = Obs.Tracer.create () in
+        Obs.Tracer.install tr;
+        Some tr
+    | None -> None
+  in
+  let dispatch () =
+    match named with
+    | [] ->
+        ignore (Experiments.Harness.run ~quick Experiments.Harness.All);
+        print_newline ();
+        run_micro ()
+    | [ "micro" ] -> run_micro ()
+    | [ "vm" ] -> run_vm ~quick
+    | [ "scalability" ] -> run_scalability ~quick
+    | [ name ] -> (
+        match Experiments.Harness.selection_of_string name with
+        | Some sel -> ignore (Experiments.Harness.run ~quick sel)
+        | None ->
+            Printf.eprintf "unknown experiment %s; one of: %s|micro|vm|scalability\n" name
+              (String.concat "|" Experiments.Harness.selection_names);
+            exit 2)
+    | _ ->
+        prerr_endline "usage: main.exe [experiment] [--quick] [--trace FILE]";
+        exit 2
+  in
+  Fun.protect ~finally:Obs.Tracer.uninstall dispatch;
+  match (tracer, trace) with
+  | Some tr, Some path ->
+      Obs.Export.write_chrome tr path;
+      Printf.printf "wrote trace to %s (%d events, %d dropped)\n" path
+        (Obs.Tracer.total_emitted tr) (Obs.Tracer.total_dropped tr)
+  | _ -> ()

@@ -4,6 +4,9 @@
    facade_cli samples                       - list the bundled jir sample programs
    facade_cli demo NAME                     - transform + run a sample in both modes
    facade_cli run NAME [--workers N]        - run a sample's P' on a domain pool
+                       [--trace FILE]         (exporting a Chrome trace)
+   facade_cli profile NAME [--top N]        - traced run + plain-text profile report
+   facade_cli validate-trace FILE           - schema-check an exported Chrome trace
    facade_cli inspect NAME [--original]     - pretty-print a sample (P' by default)
    facade_cli check FILE [--json]           - verify + flow-sensitive analyses
    facade_cli lint FILE [--data ...]        - full FACADE invariant lint
@@ -21,6 +24,52 @@ let no_opt =
         ~doc:
           "Disable the JIR optimizer pipeline and the post-link quickening \
            tier; execute the facade transform's output verbatim.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Execute spawned threads on a pool of $(docv) OCaml domains \
+           (work-stealing scheduler). Without it, the sequential engine runs.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record an execution trace and write it to $(docv) as Chrome \
+           trace_event JSON (loadable in Perfetto or chrome://tracing).")
+
+let heap_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "heap-mb" ] ~docv:"MB"
+        ~doc:
+          "Attach a simulated generational heap of $(docv) MiB and report its \
+           GC activity (pauses appear in the trace as $(b,gc) spans).")
+
+let heap_of_mb = function
+  | None -> None
+  | Some mb ->
+      if mb < 1 then invalid_arg "--heap-mb must be >= 1";
+      Some (Heapsim.Heap.create (Heapsim.Hconfig.make ~heap_bytes:(mb * 1024 * 1024) ()))
+
+let print_gc_lines heap tracer =
+  match heap with
+  | None -> ()
+  | Some h ->
+      let gs = Heapsim.Heap.stats h in
+      Printf.printf "gc: minors=%d majors=%d\n" gs.Heapsim.Gc_stats.minor_gcs
+        gs.Heapsim.Gc_stats.major_gcs;
+      Printf.printf "gc_pause_total=%.9f\n" gs.Heapsim.Gc_stats.gc_seconds;
+      (match Option.map (fun tr -> Obs.Tracer.hist_stat tr "gc_pause") tracer with
+      | Some (Some hs) -> Printf.printf "trace_gc_pause_total=%.9f\n" hs.Obs.Tracer.hs_sum
+      | Some None -> Printf.printf "trace_gc_pause_total=0.000000000\n"
+      | None -> ())
 
 (* ---------- experiments ---------- *)
 
@@ -116,16 +165,7 @@ let demo_cmd =
 (* ---------- run (facade mode, optional domain pool) ---------- *)
 
 let run_cmd =
-  let workers =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "workers" ] ~docv:"N"
-          ~doc:
-            "Execute spawned threads on a pool of $(docv) OCaml domains \
-             (work-stealing scheduler). Without it, the sequential engine runs.")
-  in
-  let run name workers no_opt =
+  let run name workers no_opt trace heap_mb =
     match find_sample name with
     | None -> `Error (true, "unknown sample " ^ name)
     | Some s -> (
@@ -138,9 +178,21 @@ let run_cmd =
             let pl =
               if no_opt then pl else fst (Opt.Driver.optimize_pipeline pl)
             in
-            let t0 = Unix.gettimeofday () in
-            let o = Facade_vm.Interp.run_facade ?workers ~quicken:(not no_opt) pl in
-            let wall = Unix.gettimeofday () -. t0 in
+            let heap = heap_of_mb heap_mb in
+            let exec () =
+              let t0 = Unix.gettimeofday () in
+              let o = Facade_vm.Interp.run_facade ?heap ?workers ~quicken:(not no_opt) pl in
+              (o, Unix.gettimeofday () -. t0)
+            in
+            let tracer, (o, wall) =
+              match trace with
+              | Some _ ->
+                  let tr = Obs.Tracer.create () in
+                  Obs.Tracer.install tr;
+                  let r = Fun.protect ~finally:Obs.Tracer.uninstall exec in
+                  (Some tr, r)
+              | None -> (None, exec ())
+            in
             let result =
               match o.Facade_vm.Interp.result with
               | Some x -> Facade_vm.Value.to_string x
@@ -159,6 +211,13 @@ let run_cmd =
                   st.Pagestore.Store.records_allocated
                   st.Pagestore.Store.pages_created st.Pagestore.Store.live_pages
             | None -> ());
+            print_gc_lines heap tracer;
+            (match (tracer, trace) with
+            | Some tr, Some path ->
+                Obs.Export.write_chrome tr path;
+                Printf.printf "trace written to %s (%d events, %d dropped)\n" path
+                  (Obs.Tracer.total_emitted tr) (Obs.Tracer.total_dropped tr)
+            | _ -> ());
             `Ok ())
   in
   Cmd.v
@@ -166,8 +225,86 @@ let run_cmd =
        ~doc:
          "Transform a sample, optimize it, and execute P' in facade mode \
           (quickened), optionally running its threads in parallel on real \
-          OCaml domains.")
-    Term.(ret (const run $ sample_arg $ workers $ no_opt))
+          OCaml domains. With $(b,--trace), record VM, GC, page-store and \
+          scheduler events to a Chrome trace file.")
+    Term.(ret (const run $ sample_arg $ workers_arg $ no_opt $ trace_arg $ heap_mb_arg))
+
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let top =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the top-spans-by-self-time table.")
+  in
+  let run name workers no_opt heap_mb top trace =
+    match find_sample name with
+    | None -> `Error (true, "unknown sample " ^ name)
+    | Some s -> (
+        match workers with
+        | Some n when n < 1 -> `Error (true, "--workers must be >= 1")
+        | _ ->
+            let pl =
+              Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program
+            in
+            let pl = if no_opt then pl else fst (Opt.Driver.optimize_pipeline pl) in
+            let heap = heap_of_mb heap_mb in
+            let tr = Obs.Tracer.create () in
+            Obs.Tracer.install tr;
+            let o =
+              Fun.protect ~finally:Obs.Tracer.uninstall (fun () ->
+                  Facade_vm.Interp.run_facade ?heap ?workers ~quicken:(not no_opt) pl)
+            in
+            Printf.printf "%s: result=%s  steps=%d\n\n" name
+              (match o.Facade_vm.Interp.result with
+              | Some x -> Facade_vm.Value.to_string x
+              | None -> "-")
+              o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.steps;
+            print_string (Obs.Export.profile_report ~top tr);
+            print_gc_lines heap (Some tr);
+            (match trace with
+            | Some path ->
+                Obs.Export.write_chrome tr path;
+                Printf.printf "trace written to %s\n" path
+            | None -> ());
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a sample under the tracer and print a plain-text profile: top \
+          spans by self time, GC pause table, scheduler and page-store event \
+          counts. $(b,--trace) additionally exports the Chrome trace.")
+    Term.(
+      ret (const run $ sample_arg $ workers_arg $ no_opt $ heap_mb_arg $ top $ trace_arg))
+
+(* ---------- validate-trace ---------- *)
+
+let validate_trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A Chrome trace JSON file (from $(b,--trace)).")
+  in
+  let run file =
+    let s = In_channel.with_open_text file In_channel.input_all in
+    match Obs.Export.validate_chrome s with
+    | Ok c ->
+        Printf.printf "ok: %d events (%d B / %d E / %d i / %d M), %d lanes, %d open\n"
+          c.Obs.Export.ck_events c.Obs.Export.ck_begins c.Obs.Export.ck_ends
+          c.Obs.Export.ck_instants c.Obs.Export.ck_meta c.Obs.Export.ck_tids
+          c.Obs.Export.ck_open;
+        `Ok ()
+    | Error e -> `Error (false, "invalid trace: " ^ e)
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:
+         "Parse a Chrome trace JSON file and check the trace_event schema: \
+          required fields, per-thread timestamp monotonicity, and balanced \
+          begin/end nesting.")
+    Term.(ret (const run $ file))
 
 (* ---------- inspect ---------- *)
 
@@ -464,6 +601,8 @@ let () =
             samples_cmd;
             demo_cmd;
             run_cmd;
+            profile_cmd;
+            validate_trace_cmd;
             inspect_cmd;
             transform_cmd;
             check_cmd;

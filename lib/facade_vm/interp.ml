@@ -517,6 +517,18 @@ let rec run_body st (m : R.meth) (frame : Value.t array) : Value.t option =
   in
   go 0
 
+(* Every dispatch funnels through here so method spans cover exactly the
+   static + virtual + thread-run + entry calls, which the golden-trace
+   tests count against Exec_stats. *)
+and run_method st (m : R.meth) (frame : Value.t array) : Value.t option =
+  if Obs.Trace.on () then begin
+    Obs.Trace.span_begin ~cat:"vm" (m.R.m_cls ^ "." ^ m.R.m_name);
+    Fun.protect
+      ~finally:(fun () -> Obs.Trace.span_end ())
+      (fun () -> run_body st m frame)
+  end
+  else run_body st m frame
+
 and exec st (frame : Value.t array) ins =
   let stats = st.stats in
   stats.Exec_stats.steps <- stats.Exec_stats.steps + 1;
@@ -579,7 +591,7 @@ and exec st (frame : Value.t array) ins =
       let f = Array.copy m.R.m_frame in
       (match recv with Some s -> f.(0) <- frame.(s) | None -> ());
       Array.iteri (fun i s -> f.(i + 1) <- frame.(s)) args;
-      store_ret frame ret (run_body st m f)
+      store_ret frame ret (run_method st m f)
   | R.Rcall_virtual (ret, mid, r, args) ->
       st.stats.Exec_stats.virtual_dispatches <- st.stats.Exec_stats.virtual_dispatches + 1;
       let recv = frame.(r) in
@@ -597,7 +609,7 @@ and exec st (frame : Value.t array) ins =
       let f = Array.copy m.R.m_frame in
       f.(0) <- recv;
       Array.iteri (fun i s -> f.(i + 1) <- frame.(s)) args;
-      store_ret frame ret (run_body st m f)
+      store_ret frame ret (run_method st m f)
   | R.Rinstance_of (d, s, t) ->
       frame.(d) <- Value.Int (if instance_of st t frame.(s) then 1 else 0)
   | R.Rcast (d, s, t) ->
@@ -629,6 +641,7 @@ and exec st (frame : Value.t array) ins =
       | Value.Null -> vm_err "NullPointerException: monitorexit"
       | w -> vm_err "monitorexit on %s" (Value.to_string w))
   | R.Riter_start -> (
+      if Obs.Trace.on () then Obs.Trace.instant ~cat:"vm" "iter_start";
       (match st.heap with
       | Some h -> heap_locked st (fun () -> Heap.iteration_start h)
       | None -> ());
@@ -636,6 +649,7 @@ and exec st (frame : Value.t array) ins =
       | Facade_mode rt -> Store.iteration_start rt.store ~thread:st.thread
       | Object_mode -> ())
   | R.Riter_end -> (
+      if Obs.Trace.on () then Obs.Trace.instant ~cat:"vm" "iter_end";
       (* Join barrier: threads spawned inside (or before) this iteration
          finish before the iteration's page managers are bulk-released —
          their default managers are children of the iteration manager. *)
@@ -670,6 +684,7 @@ and exec st (frame : Value.t array) ins =
         end
         else begin
           stats.Exec_stats.ic_misses <- stats.Exec_stats.ic_misses + 1;
+          if Obs.Trace.on () then Obs.Trace.instant ~cat:"vm" "ic_miss";
           let c = st.rp.R.classes.(cid) in
           let midx = c.R.c_vtable.(mid) in
           if midx < 0 then
@@ -688,7 +703,7 @@ and exec st (frame : Value.t array) ins =
       let f = Array.copy m.R.m_frame in
       f.(0) <- recv;
       Array.iteri (fun i s -> f.(i + 1) <- frame.(s)) args;
-      store_ret frame ret (run_body st m f)
+      store_ret frame ret (run_method st m f)
   | R.Rfield_load_ic (d, o, fid, ic) -> (
       match frame.(o) with
       | Value.Obj ob ->
@@ -701,6 +716,7 @@ and exec st (frame : Value.t array) ins =
             end
             else begin
               stats.Exec_stats.ic_misses <- stats.Exec_stats.ic_misses + 1;
+          if Obs.Trace.on () then Obs.Trace.instant ~cat:"vm" "ic_miss";
               let slot = field_slot st ob fid in
               (* Only linked classes have a cid to key the cache on. *)
               if cid >= 0 then ic.R.ic_key <- R.ic_pack ~cid ~payload:slot;
@@ -722,6 +738,7 @@ and exec st (frame : Value.t array) ins =
             end
             else begin
               stats.Exec_stats.ic_misses <- stats.Exec_stats.ic_misses + 1;
+          if Obs.Trace.on () then Obs.Trace.instant ~cat:"vm" "ic_miss";
               let slot = field_slot st ob fid in
               if cid >= 0 then ic.R.ic_key <- R.ic_pack ~cid ~payload:slot;
               slot
@@ -843,7 +860,7 @@ and run_the_run st recv =
   if m.R.m_nparams <> 0 then vm_err "arity mismatch calling %s.run (0 args)" c.R.c_name;
   let f = Array.copy m.R.m_frame in
   f.(0) <- recv;
-  ignore (run_body st m f)
+  ignore (run_method st m f)
 
 and run_thread st v =
   (* A fresh logical thread: own page manager (child of the spawning
@@ -855,6 +872,8 @@ and run_thread st v =
   | Some _, Facade_mode rt -> spawn_thread_parallel st rt v
   | _ ->
       let tid = Atomic.fetch_and_add st.next_thread 1 in
+      if Obs.Trace.on () then
+        Obs.Trace.instant ~cat:"vm" ~args:[ ("tid", Obs.Tracer.Aint tid) ] "thread_spawn";
       let parent = st.thread in
       (match st.mode with
       | Facade_mode rt -> Store.register_thread ~parent rt.store tid
@@ -871,6 +890,8 @@ and run_thread st v =
 and spawn_thread_parallel st rt v =
   let shared = Option.get st.par in
   let tid = Atomic.fetch_and_add st.next_thread 1 in
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"vm" ~args:[ ("tid", Obs.Tracer.Aint tid) ] "thread_spawn";
   (* Register on the spawner's domain so the child's default manager
      hangs off the spawner's *current* iteration manager, exactly as the
      sequential path does. *)
@@ -1099,7 +1120,7 @@ let run_entry st ~entry_args =
       (List.length entry_args);
   let f = Array.copy m.R.m_frame in
   List.iteri (fun i a -> f.(i + 1) <- a) entry_args;
-  let result = run_body st m f in
+  let result = run_method st m f in
   (* Final barrier: top-level threads spawned outside any iteration. *)
   join_children st;
   let o = finish st in

@@ -78,15 +78,24 @@ let note_peak t =
   let used = heap_used_bytes t + t.native in
   if used > t.peak then t.peak <- used
 
-let charge_gc t s =
+(* The combined "gc_pause" histogram accumulates here, in occurrence
+   order — on a single lane its sum is bit-exact against
+   [Gc_stats.gc_seconds], which the golden-trace tests rely on. *)
+let charge_gc t kind s =
   Sim_clock.charge t.clk Sim_clock.Gc s;
-  t.stats.Gc_stats.gc_seconds <- t.stats.Gc_stats.gc_seconds +. s
+  t.stats.Gc_stats.gc_seconds <- t.stats.Gc_stats.gc_seconds +. s;
+  if Obs.Trace.on () then begin
+    Obs.Trace.histogram ~name:"gc_pause" s;
+    Obs.Trace.histogram ~name:("gc_pause_" ^ kind) s
+  end
 
 let oom t =
   raise (Out_of_memory { at_seconds = Sim_clock.total t.clk; live_bytes = live_bytes t })
 
 (* Mark-sweep-compact over the old generation: cost follows the live set. *)
 let major_gc t =
+  let trace = Obs.Trace.on () in
+  if trace then Obs.Trace.span_begin ~sim:(Sim_clock.total t.clk) ~cat:"gc" "major_gc";
   let c = t.cfg.Hconfig.costs in
   let live_objs = ref 0 and live_b = ref 0 in
   List.iter
@@ -94,16 +103,26 @@ let major_gc t =
       live_objs := !live_objs + p.old.objs;
       live_b := !live_b + p.old.bytes)
     (pops t);
-  charge_gc t
+  charge_gc t "major"
     (c.Hconfig.major_fixed
     +. (c.Hconfig.major_per_obj *. float_of_int !live_objs)
     +. (c.Hconfig.major_per_byte *. float_of_int !live_b));
   t.stats.Gc_stats.major_gcs <- t.stats.Gc_stats.major_gcs + 1;
   t.stats.Gc_stats.objects_traced <- t.stats.Gc_stats.objects_traced + !live_objs;
-  seg_clear t.dead_old
+  seg_clear t.dead_old;
+  if trace then
+    Obs.Trace.span_end ~sim:(Sim_clock.total t.clk)
+      ~args:
+        [
+          ("live_objects", Obs.Tracer.Aint !live_objs);
+          ("live_bytes", Obs.Tracer.Aint !live_b);
+        ]
+      ()
 
 (* Copying scavenge: survivors are traced, copied, and promoted. *)
 let minor_gc t =
+  let trace = Obs.Trace.on () in
+  if trace then Obs.Trace.span_begin ~sim:(Sim_clock.total t.clk) ~cat:"gc" "minor_gc";
   let c = t.cfg.Hconfig.costs in
   let surv_objs = ref 0 and surv_b = ref 0 in
   List.iter
@@ -111,7 +130,7 @@ let minor_gc t =
       surv_objs := !surv_objs + p.young.objs;
       surv_b := !surv_b + p.young.bytes)
     (pops t);
-  charge_gc t
+  charge_gc t "minor"
     (c.Hconfig.minor_fixed
     +. (c.Hconfig.minor_per_obj *. float_of_int !surv_objs)
     +. (c.Hconfig.minor_per_byte *. float_of_int !surv_b));
@@ -125,6 +144,16 @@ let minor_gc t =
     (pops t);
   seg_clear t.temp;
   t.young_used <- 0;
+  (* End the scavenge span before the promotion-pressure check so a
+     triggered major collection shows up as a sibling, not a child. *)
+  if trace then
+    Obs.Trace.span_end ~sim:(Sim_clock.total t.clk)
+      ~args:
+        [
+          ("survivors", Obs.Tracer.Aint !surv_objs);
+          ("copied_bytes", Obs.Tracer.Aint !surv_b);
+        ]
+      ();
   if old_used t > old_capacity t then begin
     major_gc t;
     if old_used t > old_capacity t then oom t

@@ -3,7 +3,9 @@ type t = {
   mutable rows : string list list;  (* reversed *)
 }
 
-let create ~headers = { headers; rows = [] }
+let create ~headers =
+  if headers = [] then invalid_arg "Table.create: empty header list";
+  { headers; rows = [] }
 
 let add_row t row =
   let n = List.length t.headers in

@@ -3,10 +3,14 @@
 type t
 
 val create : headers:string list -> t
+(** Raises [Invalid_argument] on an empty header list: the header fixes
+    the column count every row is checked (and padded) against, and
+    {!render}'s separator math assumes at least one column. *)
 
 val add_row : t -> string list -> unit
-(** Rows shorter than the header are padded with empty cells; longer rows
-    raise [Invalid_argument]. *)
+(** Rows shorter than the header are right-padded with empty cells up to
+    the header width, so ragged data renders with aligned columns; rows
+    longer than the header raise [Invalid_argument]. *)
 
 val render : t -> string
 (** Render with a header separator; columns are padded to the widest cell. *)

@@ -1,0 +1,35 @@
+(** Trace exporters: Chrome [trace_event] JSON and a plain-text profile
+    report. *)
+
+val chrome_json_string : Tracer.t -> string
+(** Render the retained events as a Chrome trace
+    ([{"traceEvents":[...]}], JSON Array Format with an object wrapper)
+    loadable in Perfetto / [chrome://tracing]. Lanes map to thread ids
+    ([tid]); each lane gets a [thread_name] metadata event. Timestamps
+    are microseconds. End events whose Begin was overwritten by the ring
+    are dropped so every emitted B/E pair balances; still-open spans
+    contribute a B without an E (viewers render these as unfinished). *)
+
+val write_chrome : Tracer.t -> string -> unit
+(** [write_chrome t path] writes {!chrome_json_string} to [path]. *)
+
+type check = {
+  ck_events : int;  (** total entries in [traceEvents] *)
+  ck_begins : int;
+  ck_ends : int;
+  ck_instants : int;
+  ck_meta : int;
+  ck_open : int;  (** Begins never closed (not an error) *)
+  ck_tids : int;  (** distinct thread lanes *)
+}
+
+val validate_chrome : string -> (check, string) result
+(** Parse a Chrome trace JSON string and check the schema: a top-level
+    [traceEvents] array whose entries carry [ph]/[name]/[pid]/[tid] (and
+    [ts] for non-metadata events), with per-tid non-decreasing
+    timestamps and every E matching an open B of the same name. *)
+
+val profile_report : ?top:int -> Tracer.t -> string
+(** Plain-text report: header totals, top [top] (default 15) spans by
+    self time, GC pause table, scheduler and page-store event tables.
+    Sections with no data are omitted. *)

@@ -1,0 +1,235 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf x =
+  if Float.is_nan x then Buffer.add_string buf "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" x)
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x -> add_num buf x
+  | Str s -> escape buf s
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          add buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add buf v;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Bad of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let k = String.length word in
+    if !pos + k <= n && String.sub s !pos k = word then begin
+      pos := !pos + k;
+      v
+    end
+    else fail ("bad literal, expected " ^ word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let h = String.sub s !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some c -> c
+    | None -> fail "bad \\u escape"
+  in
+  (* Encode a code point as UTF-8 (surrogate pairs are not recombined;
+     each half encodes separately, which round-trips our own output). *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape";
+           let c = s.[!pos] in
+           advance ();
+           match c with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' -> add_utf8 buf (parse_hex4 ())
+           | _ -> fail "bad escape");
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    while !pos < n && (match s.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false) do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some x -> x
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                fields ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elems (v :: acc)
+            | ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (elems [])
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' -> Num (parse_number ())
+    | _ -> fail "expected a JSON value"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing characters";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) -> Error (Printf.sprintf "offset %d: %s" at msg)
+
+(* ---------- accessors ---------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Num _ | Str _ | List _ -> None
+
+let to_float = function Num x -> Some x | _ -> None
+
+let to_int = function
+  | Num x when Float.is_integer x -> Some (int_of_float x)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,25 @@
+let on = Tracer.on
+
+let span_begin ?sim ?args ~cat name =
+  match Tracer.ambient () with
+  | Some t -> Tracer.span_begin t ?sim ?args ~cat name
+  | None -> ()
+
+let span_end ?sim ?sim_dur ?args () =
+  match Tracer.ambient () with
+  | Some t -> Tracer.span_end t ?sim ?sim_dur ?args ()
+  | None -> ()
+
+let instant ?sim ?args ~cat name =
+  match Tracer.ambient () with
+  | Some t -> Tracer.instant t ?sim ?args ~cat name
+  | None -> ()
+
+let counter ~name v =
+  match Tracer.ambient () with Some t -> Tracer.counter t ~name v | None -> ()
+
+let histogram ~name v =
+  match Tracer.ambient () with Some t -> Tracer.histogram t ~name v | None -> ()
+
+let with_span ~cat name f =
+  match Tracer.ambient () with Some t -> Tracer.with_span t ~cat name f | None -> f ()

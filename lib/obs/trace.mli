@@ -1,0 +1,25 @@
+(** Ambient-tracer forwarders — the instrumentation surface.
+
+    Every function is a no-op unless a tracer has been
+    {!Tracer.install}ed. Hot call sites should guard with {!on} so
+    argument construction (names, arg lists) is skipped entirely when
+    tracing is disabled:
+
+    {[
+      if Obs.Trace.on () then
+        Obs.Trace.instant ~cat:"vm" "ic_miss"
+    ]} *)
+
+val on : unit -> bool
+(** Single atomic load; [false] when no tracer is installed. *)
+
+val span_begin :
+  ?sim:float -> ?args:(string * Tracer.arg) list -> cat:string -> string -> unit
+
+val span_end : ?sim:float -> ?sim_dur:float -> ?args:(string * Tracer.arg) list -> unit -> unit
+val instant : ?sim:float -> ?args:(string * Tracer.arg) list -> cat:string -> string -> unit
+val counter : name:string -> float -> unit
+val histogram : name:string -> float -> unit
+
+val with_span : cat:string -> string -> (unit -> 'a) -> 'a
+(** Runs [f] inside a span when tracing is on, bare otherwise. *)

@@ -1,0 +1,391 @@
+type arg = Aint of int | Afloat of float | Astr of string
+type phase = Begin | End | Instant
+
+type event = {
+  ph : phase;
+  ts : float;
+  sim : float;
+  cat : string;
+  name : string;
+  args : (string * arg) list;
+}
+
+type agg = {
+  mutable a_count : int;
+  mutable a_wall : float;
+  mutable a_self : float;
+  mutable a_sim : float;
+}
+
+type counter_cell = { mutable c_last : float; mutable c_total : float; mutable c_count : int }
+
+type hist_cell = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type open_span = {
+  os_cat : string;
+  os_name : string;
+  os_ts : float;
+  os_sim : float;
+  mutable os_child : float;  (* wall seconds spent in completed child spans *)
+}
+
+(* One lane per domain (or per explicit test lane). Everything inside is
+   single-writer: only the owning domain emits into it, so no emission
+   path takes a lock once the lane exists. *)
+type lane = {
+  lid : int;
+  ring : event array;
+  cap : int;
+  mutable seq : int;  (* total events ever emitted to this lane *)
+  mutable last_ts : float;
+  mutable stack : open_span list;
+  mutable depth : int;
+  mutable unmatched : int;
+  spans : (string * string, agg) Hashtbl.t;  (* (cat, name) *)
+  insts : (string * string, int ref) Hashtbl.t;
+  counters : (string, counter_cell) Hashtbl.t;
+  hists : (string, hist_cell) Hashtbl.t;
+}
+
+type t = {
+  gen : int;  (* unique tracer id, keys the domain-local lane cache *)
+  cap : int;
+  epoch : float;
+  mu : Mutex.t;  (* guards [lanes] (creation/enumeration), never emission *)
+  lanes_tbl : (int, lane) Hashtbl.t;
+}
+
+let default_ring_capacity = 1 lsl 16
+
+let dummy_event = { ph = Instant; ts = 0.; sim = Float.nan; cat = ""; name = ""; args = [] }
+
+let next_gen = Atomic.make 0
+
+let create ?(ring_capacity = default_ring_capacity) () =
+  if ring_capacity <= 0 then invalid_arg "Tracer.create: non-positive ring capacity";
+  {
+    gen = Atomic.fetch_and_add next_gen 1;
+    cap = ring_capacity;
+    epoch = Unix.gettimeofday ();
+    mu = Mutex.create ();
+    lanes_tbl = Hashtbl.create 8;
+  }
+
+let ring_capacity t = t.cap
+
+(* ---------- lanes ---------- *)
+
+let make_lane t lid =
+  {
+    lid;
+    ring = Array.make t.cap dummy_event;
+    cap = t.cap;
+    seq = 0;
+    last_ts = 0.;
+    stack = [];
+    depth = 0;
+    unmatched = 0;
+    spans = Hashtbl.create 32;
+    insts = Hashtbl.create 32;
+    counters = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+  }
+
+let lane_locked t lid =
+  Mutex.lock t.mu;
+  let l =
+    match Hashtbl.find_opt t.lanes_tbl lid with
+    | Some l -> l
+    | None ->
+        let l = make_lane t lid in
+        Hashtbl.replace t.lanes_tbl lid l;
+        l
+  in
+  Mutex.unlock t.mu;
+  l
+
+(* Domain-local cache of (tracer generation, lane): the common emission
+   path resolves its lane without touching [mu]. *)
+let lane_cache : (int * lane) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let my_lane t =
+  match Domain.DLS.get lane_cache with
+  | Some (gen, l) when gen = t.gen -> l
+  | _ ->
+      let l = lane_locked t (Domain.self () :> int) in
+      Domain.DLS.set lane_cache (Some (t.gen, l));
+      l
+
+let lane_of t = function None -> my_lane t | Some lid -> lane_locked t lid
+
+(* ---------- ambient ---------- *)
+
+let ambient_cell : t option Atomic.t = Atomic.make None
+let on_cell = Atomic.make false
+
+let install t =
+  Atomic.set ambient_cell (Some t);
+  Atomic.set on_cell true
+
+let uninstall () =
+  Atomic.set on_cell false;
+  Atomic.set ambient_cell None
+
+let ambient () = Atomic.get ambient_cell
+let on () = Atomic.get on_cell
+
+(* ---------- emission ---------- *)
+
+let now t l =
+  let x = Unix.gettimeofday () -. t.epoch in
+  let x = if x >= l.last_ts then x else l.last_ts in
+  l.last_ts <- x;
+  x
+
+let push l ev =
+  l.ring.(l.seq mod l.cap) <- ev;
+  l.seq <- l.seq + 1
+
+let span_begin t ?lane ?(sim = Float.nan) ?(args = []) ~cat name =
+  let l = lane_of t lane in
+  let ts = now t l in
+  l.stack <- { os_cat = cat; os_name = name; os_ts = ts; os_sim = sim; os_child = 0. } :: l.stack;
+  l.depth <- l.depth + 1;
+  push l { ph = Begin; ts; sim; cat; name; args }
+
+let agg_of l key =
+  match Hashtbl.find_opt l.spans key with
+  | Some a -> a
+  | None ->
+      let a = { a_count = 0; a_wall = 0.; a_self = 0.; a_sim = 0. } in
+      Hashtbl.replace l.spans key a;
+      a
+
+let span_end t ?lane ?(sim = Float.nan) ?sim_dur ?(args = []) () =
+  let l = lane_of t lane in
+  let ts = now t l in
+  match l.stack with
+  | [] ->
+      l.unmatched <- l.unmatched + 1;
+      push l { ph = End; ts; sim; cat = ""; name = ""; args }
+  | os :: rest ->
+      l.stack <- rest;
+      l.depth <- l.depth - 1;
+      let wall = ts -. os.os_ts in
+      let self = Float.max 0. (wall -. os.os_child) in
+      (match rest with parent :: _ -> parent.os_child <- parent.os_child +. wall | [] -> ());
+      let simd =
+        match sim_dur with
+        | Some d -> d
+        | None ->
+            if Float.is_nan os.os_sim || Float.is_nan sim then 0. else sim -. os.os_sim
+      in
+      let a = agg_of l (os.os_cat, os.os_name) in
+      a.a_count <- a.a_count + 1;
+      a.a_wall <- a.a_wall +. wall;
+      a.a_self <- a.a_self +. self;
+      a.a_sim <- a.a_sim +. simd;
+      push l { ph = End; ts; sim; cat = os.os_cat; name = os.os_name; args }
+
+let instant t ?lane ?(sim = Float.nan) ?(args = []) ~cat name =
+  let l = lane_of t lane in
+  let ts = now t l in
+  (match Hashtbl.find_opt l.insts (cat, name) with
+  | Some r -> incr r
+  | None -> Hashtbl.replace l.insts (cat, name) (ref 1));
+  push l { ph = Instant; ts; sim; cat; name; args }
+
+let counter t ?lane ~name v =
+  let l = lane_of t lane in
+  match Hashtbl.find_opt l.counters name with
+  | Some c ->
+      c.c_last <- v;
+      c.c_total <- c.c_total +. v;
+      c.c_count <- c.c_count + 1
+  | None -> Hashtbl.replace l.counters name { c_last = v; c_total = v; c_count = 1 }
+
+let histogram t ?lane ~name v =
+  let l = lane_of t lane in
+  match Hashtbl.find_opt l.hists name with
+  | Some h ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+  | None -> Hashtbl.replace l.hists name { h_count = 1; h_sum = v; h_min = v; h_max = v }
+
+let with_span t ?lane ~cat name f =
+  span_begin t ?lane ~cat name;
+  Fun.protect ~finally:(fun () -> span_end t ?lane ()) f
+
+(* ---------- introspection ---------- *)
+
+let all_lanes t =
+  Mutex.lock t.mu;
+  let ls = Hashtbl.fold (fun _ l acc -> l :: acc) t.lanes_tbl [] in
+  Mutex.unlock t.mu;
+  List.sort (fun a b -> compare a.lid b.lid) ls
+
+let lanes t = List.map (fun l -> l.lid) (all_lanes t)
+
+let find_lane t lid =
+  Mutex.lock t.mu;
+  let l = Hashtbl.find_opt t.lanes_tbl lid in
+  Mutex.unlock t.mu;
+  l
+
+let lane_events_of l =
+  let retained = min l.seq l.cap in
+  List.init retained (fun i -> l.ring.((l.seq - retained + i) mod l.cap))
+
+let lane_events t lid =
+  match find_lane t lid with None -> [] | Some l -> lane_events_of l
+
+let events t =
+  List.concat_map lane_events_of (all_lanes t)
+  |> List.stable_sort (fun a b -> compare a.ts b.ts)
+
+let lane_emitted t lid = match find_lane t lid with None -> 0 | Some l -> l.seq
+
+let lane_dropped t lid =
+  match find_lane t lid with None -> 0 | Some l -> max 0 (l.seq - l.cap)
+
+let lane_depth t lid = match find_lane t lid with None -> 0 | Some l -> l.depth
+
+let total_emitted t = List.fold_left (fun acc l -> acc + l.seq) 0 (all_lanes t)
+
+let total_dropped t =
+  List.fold_left (fun acc l -> acc + max 0 (l.seq - l.cap)) 0 (all_lanes t)
+
+let open_spans t = List.fold_left (fun acc l -> acc + l.depth) 0 (all_lanes t)
+let unmatched_ends t = List.fold_left (fun acc l -> acc + l.unmatched) 0 (all_lanes t)
+
+type span_stat = {
+  ss_cat : string;
+  ss_name : string;
+  ss_count : int;
+  ss_wall_total : float;
+  ss_wall_self : float;
+  ss_sim_total : float;
+}
+
+type counter_stat = { cs_name : string; cs_last : float; cs_total : float; cs_count : int }
+
+type hist_stat = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+}
+
+let span_stats t =
+  let merged : (string * string, span_stat) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun l ->
+      Hashtbl.iter
+        (fun (cat, name) a ->
+          let prev =
+            Option.value
+              ~default:
+                {
+                  ss_cat = cat;
+                  ss_name = name;
+                  ss_count = 0;
+                  ss_wall_total = 0.;
+                  ss_wall_self = 0.;
+                  ss_sim_total = 0.;
+                }
+              (Hashtbl.find_opt merged (cat, name))
+          in
+          Hashtbl.replace merged (cat, name)
+            {
+              prev with
+              ss_count = prev.ss_count + a.a_count;
+              ss_wall_total = prev.ss_wall_total +. a.a_wall;
+              ss_wall_self = prev.ss_wall_self +. a.a_self;
+              ss_sim_total = prev.ss_sim_total +. a.a_sim;
+            })
+        l.spans)
+    (all_lanes t);
+  Hashtbl.fold (fun _ s acc -> s :: acc) merged []
+  |> List.sort (fun a b -> compare b.ss_wall_self a.ss_wall_self)
+
+let instant_counts t =
+  let merged : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun l ->
+      Hashtbl.iter
+        (fun key r ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt merged key) in
+          Hashtbl.replace merged key (prev + !r))
+        l.insts)
+    (all_lanes t);
+  Hashtbl.fold (fun key n acc -> (key, n) :: acc) merged []
+  |> List.sort (fun ((c1, n1), _) ((c2, n2), _) -> compare (c1, n1) (c2, n2))
+
+let instant_count t ~cat name =
+  List.fold_left
+    (fun acc l ->
+      acc + match Hashtbl.find_opt l.insts (cat, name) with Some r -> !r | None -> 0)
+    0 (all_lanes t)
+
+let counter_stats t =
+  let merged : (string, counter_stat) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      Hashtbl.iter
+        (fun name c ->
+          match Hashtbl.find_opt merged name with
+          | Some prev ->
+              Hashtbl.replace merged name
+                {
+                  prev with
+                  cs_last = c.c_last;
+                  cs_total = prev.cs_total +. c.c_total;
+                  cs_count = prev.cs_count + c.c_count;
+                }
+          | None ->
+              Hashtbl.replace merged name
+                { cs_name = name; cs_last = c.c_last; cs_total = c.c_total; cs_count = c.c_count })
+        l.counters)
+    (all_lanes t);
+  Hashtbl.fold (fun _ c acc -> c :: acc) merged []
+  |> List.sort (fun a b -> compare a.cs_name b.cs_name)
+
+let hist_stats t =
+  let merged : (string, hist_stat) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      Hashtbl.iter
+        (fun name h ->
+          match Hashtbl.find_opt merged name with
+          | Some prev ->
+              Hashtbl.replace merged name
+                {
+                  prev with
+                  hs_count = prev.hs_count + h.h_count;
+                  hs_sum = prev.hs_sum +. h.h_sum;
+                  hs_min = Float.min prev.hs_min h.h_min;
+                  hs_max = Float.max prev.hs_max h.h_max;
+                }
+          | None ->
+              Hashtbl.replace merged name
+                {
+                  hs_name = name;
+                  hs_count = h.h_count;
+                  hs_sum = h.h_sum;
+                  hs_min = h.h_min;
+                  hs_max = h.h_max;
+                })
+        l.hists)
+    (all_lanes t);
+  Hashtbl.fold (fun _ h acc -> h :: acc) merged []
+  |> List.sort (fun a b -> compare a.hs_name b.hs_name)
+
+let hist_stat t name = List.find_opt (fun h -> h.hs_name = name) (hist_stats t)

@@ -1,0 +1,143 @@
+(** Low-overhead, domain-safe execution tracer.
+
+    A tracer owns one {e lane} per domain (created lazily, cached in
+    domain-local storage so the emission path takes no lock). Each lane
+    holds a fixed-capacity ring buffer of events — when it fills, the
+    oldest events are overwritten and counted in {!lane_dropped} — plus
+    always-complete aggregate tables (per-span totals with self time,
+    instant counts, counters, histograms) that survive ring overwrite,
+    so the profile report never lies about totals.
+
+    Timestamps are wall-clock seconds since tracer creation, clamped to
+    be non-decreasing per lane. Events can additionally carry a
+    simulated-clock timestamp (the heapsim {!Heapsim.Sim_clock} time) so
+    simulated GC pauses are attributable next to real wall time.
+
+    One tracer can be {!install}ed as the process-wide ambient tracer;
+    instrumentation sites go through {!Trace}, whose fast guard
+    ({!Trace.on}) is a single atomic load when no tracer is installed —
+    the zero-cost-when-disabled contract the VM benchmarks rely on.
+
+    Lanes default to the calling domain; the [?lane] override exists for
+    deterministic single-domain tests that simulate multiple domains
+    (explicit lanes are looked up under a lock and must not be driven
+    from two domains at once). *)
+
+type t
+
+type arg = Aint of int | Afloat of float | Astr of string
+type phase = Begin | End | Instant
+
+type event = {
+  ph : phase;
+  ts : float;  (** monotone wall seconds since tracer creation *)
+  sim : float;  (** simulated-clock seconds; [nan] when not supplied *)
+  cat : string;
+  name : string;
+  args : (string * arg) list;
+}
+
+val default_ring_capacity : int
+(** 65536 events per lane. *)
+
+val create : ?ring_capacity:int -> unit -> t
+(** [ring_capacity] must be positive (per lane). *)
+
+val ring_capacity : t -> int
+
+(** {2 Ambient tracer} *)
+
+val install : t -> unit
+(** Make [t] the process-wide ambient tracer ({!Trace} emits into it). *)
+
+val uninstall : unit -> unit
+val ambient : unit -> t option
+
+val on : unit -> bool
+(** Whether an ambient tracer is installed — the zero-cost guard. *)
+
+(** {2 Emission} *)
+
+val span_begin :
+  t -> ?lane:int -> ?sim:float -> ?args:(string * arg) list -> cat:string -> string -> unit
+
+val span_end :
+  t ->
+  ?lane:int ->
+  ?sim:float ->
+  ?sim_dur:float ->
+  ?args:(string * arg) list ->
+  unit ->
+  unit
+(** Closes the innermost open span of the lane. [?sim_dur] overrides the
+    simulated duration folded into the span's aggregate (when absent it
+    is the difference of the end/begin [?sim] stamps, or 0 when either
+    is missing). An end with no open span is counted in
+    {!unmatched_ends} and recorded as an anonymous event. *)
+
+val instant :
+  t -> ?lane:int -> ?sim:float -> ?args:(string * arg) list -> cat:string -> string -> unit
+
+val counter : t -> ?lane:int -> name:string -> float -> unit
+(** Aggregate-only gauge: remembers last value, running total, count. *)
+
+val histogram : t -> ?lane:int -> name:string -> float -> unit
+(** Aggregate-only distribution: count, sum, min, max. Per-lane sums
+    accumulate in emission order, so a single-lane histogram sum is
+    bit-exact against a counterpart accumulated the same way. *)
+
+val with_span : t -> ?lane:int -> cat:string -> string -> (unit -> 'a) -> 'a
+(** Balanced even on exceptions. *)
+
+(** {2 Introspection (quiescent reads — call after the traced run)} *)
+
+type span_stat = {
+  ss_cat : string;
+  ss_name : string;
+  ss_count : int;
+  ss_wall_total : float;  (** seconds *)
+  ss_wall_self : float;  (** total minus time in child spans *)
+  ss_sim_total : float;  (** summed simulated durations *)
+}
+
+type counter_stat = { cs_name : string; cs_last : float; cs_total : float; cs_count : int }
+
+type hist_stat = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+}
+
+val span_stats : t -> span_stat list
+(** Merged across lanes, sorted by descending self time. *)
+
+val instant_count : t -> cat:string -> string -> int
+val instant_counts : t -> ((string * string) * int) list
+val counter_stats : t -> counter_stat list
+val hist_stats : t -> hist_stat list
+val hist_stat : t -> string -> hist_stat option
+
+val lanes : t -> int list
+(** Sorted ascending. *)
+
+val lane_events : t -> int -> event list
+(** Retained ring contents, oldest first. Empty for an unknown lane. *)
+
+val events : t -> event list
+(** All lanes' retained events merged, sorted by timestamp. *)
+
+val lane_emitted : t -> int -> int
+(** Total events ever emitted to the lane (retained + dropped). *)
+
+val lane_dropped : t -> int -> int
+(** Oldest-overwritten count: [max 0 (emitted - capacity)]. *)
+
+val lane_depth : t -> int -> int
+(** Currently open spans on the lane. *)
+
+val total_emitted : t -> int
+val total_dropped : t -> int
+val open_spans : t -> int
+val unmatched_ends : t -> int

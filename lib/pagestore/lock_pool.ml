@@ -55,7 +55,14 @@ let monitor_enter t store addr ~thread =
   end
   else begin
     l.blockers <- l.blockers + 1;
+    (* Read under the registry: a live owner means we are about to block
+       on [l.mu] rather than take it uncontended. *)
+    let contended = l.owner >= 0 in
     Mutex.unlock t.registry;
+    if contended && Obs.Trace.on () then
+      Obs.Trace.instant ~cat:"store"
+        ~args:[ ("lock", Obs.Tracer.Aint l.id) ]
+        "lock_contended";
     Mutex.lock l.mu;
     l.owner <- thread;
     l.entries <- 1

@@ -89,6 +89,14 @@ let release_oversize_early t addr =
 let rec release_all t =
   if not t.is_released then begin
     t.is_released <- true;
+    if Obs.Trace.on () then
+      Obs.Trace.instant ~cat:"store"
+        ~args:
+          [
+            ("pages", Obs.Tracer.Aint (List.length t.owned + List.length t.oversize));
+            ("records", Obs.Tracer.Aint t.records);
+          ]
+        "bulk_reclaim";
     List.iter release_all t.children;
     t.children <- [];
     List.iter (Page_pool.release t.pool) t.owned;

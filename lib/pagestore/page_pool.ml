@@ -73,6 +73,13 @@ let rec push_free t id =
   let old = Atomic.get t.free in
   if not (Atomic.compare_and_set t.free old (id :: old)) then push_free t id
 
+(* Distinct instant names per acquisition path keep the golden-trace
+   invariants arithmetic: fresh + oversize = pages_created and
+   recycled = pages_recycled, with no arg parsing. *)
+let trace_page name id =
+  if Obs.Trace.on () then
+    Obs.Trace.instant ~cat:"store" ~args:[ ("page", Obs.Tracer.Aint id) ] name
+
 let acquire t =
   Atomic.incr t.live;
   match pop_free t with
@@ -81,14 +88,22 @@ let acquire t =
       | Some p -> Page.fill p ~off:0 ~len:(Page.capacity p) '\000'
       | None -> assert false);
       Atomic.incr t.recycled;
+      trace_page "page_recycled" id;
       id
-  | None -> with_lock t (fun () -> fresh_page t ~bytes:t.page_bytes)
+  | None ->
+      let id = with_lock t (fun () -> fresh_page t ~bytes:t.page_bytes) in
+      trace_page "page_fresh" id;
+      if Obs.Trace.on () then
+        Obs.Trace.counter ~name:"live_pages" (float_of_int (Atomic.get t.live));
+      id
 
 let acquire_oversize t ~bytes =
   if bytes <= t.page_bytes then
     invalid_arg "Page_pool.acquire_oversize: fits in a standard page";
   Atomic.incr t.live;
-  with_lock t (fun () -> fresh_page t ~bytes)
+  let id = with_lock t (fun () -> fresh_page t ~bytes) in
+  trace_page "page_oversize" id;
+  id
 
 let release t id =
   (match t.table.(id) with
@@ -96,7 +111,8 @@ let release t id =
   | Some _ -> invalid_arg "Page_pool.release: oversize page"
   | None -> invalid_arg "Page_pool.release: page already discarded");
   Atomic.decr t.live;
-  push_free t id
+  push_free t id;
+  trace_page "page_release" id
 
 let release_oversize t id =
   with_lock t (fun () ->
@@ -105,7 +121,8 @@ let release_oversize t id =
           t.native <- t.native - Page.capacity p;
           t.table.(id) <- None;
           Atomic.decr t.live
-      | None -> invalid_arg "Page_pool.release_oversize: page already discarded")
+      | None -> invalid_arg "Page_pool.release_oversize: page already discarded");
+  trace_page "page_release_oversize" id
 
 let page t id =
   match t.table.(id) with

@@ -53,7 +53,9 @@ let find_task t ~self =
   | Some _ as r -> r
   | None -> (
       match take_injector t with
-      | Some _ as r -> r
+      | Some _ as r ->
+          if Obs.Trace.on () then Obs.Trace.instant ~cat:"par" "injector_take";
+          r
       | None ->
           let n = Array.length t.deques in
           let start = if self >= 0 then self + 1 else 0 in
@@ -61,12 +63,21 @@ let find_task t ~self =
             if k >= n then None
             else
               match Deque.steal t.deques.((start + k) mod n) with
-              | Some _ as r -> r
+              | Some _ as r ->
+                  if Obs.Trace.on () then
+                    Obs.Trace.instant ~cat:"par"
+                      ~args:
+                        [ ("victim", Obs.Tracer.Aint ((start + k) mod n)) ]
+                      "task_steal";
+                  r
               | None -> sweep (k + 1)
           in
           sweep 0)
 
-let exec task = try task () with _ -> ()
+let exec task =
+  if Obs.Trace.on () then
+    Obs.Trace.with_span ~cat:"par" "task" (fun () -> try task () with _ -> ())
+  else try task () with _ -> ()
 
 let rec worker_loop t i =
   match find_task t ~self:i with
@@ -83,6 +94,7 @@ let rec worker_loop t i =
           worker_loop t i
       | None ->
           if not (Atomic.get t.stop) then begin
+            if Obs.Trace.on () then Obs.Trace.instant ~cat:"par" "worker_park";
             Mutex.lock t.mu;
             while Atomic.get t.version = v && not (Atomic.get t.stop) do
               Condition.wait t.cond t.mu
@@ -120,6 +132,7 @@ let submit t task =
     Queue.push task t.injector;
     Mutex.unlock t.mu
   end;
+  if Obs.Trace.on () then Obs.Trace.instant ~cat:"par" "task_submit";
   Atomic.incr t.version;
   Mutex.lock t.mu;
   Condition.broadcast t.cond;

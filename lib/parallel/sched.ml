@@ -57,7 +57,10 @@ let wait ?(help = true) g =
       Mutex.unlock g.mu
     end
   in
+  let traced = Obs.Trace.on () && Atomic.get g.remaining > 0 in
+  if traced then Obs.Trace.span_begin ~cat:"par" "join_wait";
   loop ();
+  if traced then Obs.Trace.span_end ();
   match Atomic.get g.first_exn with
   | Some e ->
       Atomic.set g.first_exn None;

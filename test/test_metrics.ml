@@ -13,6 +13,21 @@ let test_table_rejects_long_rows () =
   Alcotest.check_raises "too many cells" (Invalid_argument "Table.add_row: row longer than header")
     (fun () -> Metrics.Table.add_row t [ "1"; "2" ])
 
+let test_table_rejects_empty_headers () =
+  Alcotest.check_raises "no columns" (Invalid_argument "Table.create: empty header list")
+    (fun () -> ignore (Metrics.Table.create ~headers:[]))
+
+(* Pin the documented padding behavior: a short row renders with exactly
+   as many columns as the header, the missing cells blank. *)
+let test_table_pads_short_rows () =
+  let t = Metrics.Table.create ~headers:[ "a"; "b"; "c" ] in
+  Metrics.Table.add_row t [ "x" ];
+  Metrics.Table.add_row t [];
+  let lines = String.split_on_char '\n' (Metrics.Table.render t) in
+  Alcotest.(check int) "header + separator + 2 rows + trailing" 5 (List.length lines);
+  let row = List.nth lines 2 in
+  Alcotest.(check string) "padded to header width" "x" (String.trim row)
+
 let test_cell_int () =
   Alcotest.(check string) "billions" "14,257,280,923" (Metrics.Table.cell_int 14_257_280_923);
   Alcotest.(check string) "small" "1,363" (Metrics.Table.cell_int 1363);
@@ -50,6 +65,8 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "rejects long rows" `Quick test_table_rejects_long_rows;
+          Alcotest.test_case "rejects empty headers" `Quick test_table_rejects_empty_headers;
+          Alcotest.test_case "pads short rows" `Quick test_table_pads_short_rows;
           Alcotest.test_case "cell_int" `Quick test_cell_int;
           Alcotest.test_case "cell_float" `Quick test_cell_float;
         ] );
