@@ -172,11 +172,11 @@ let run_cmd =
         match workers with
         | Some n when n < 1 -> `Error (true, "--workers must be >= 1")
         | _ ->
-            let pl =
+            let pl0 =
               Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program
             in
             let pl =
-              if no_opt then pl else fst (Opt.Driver.optimize_pipeline pl)
+              if no_opt then pl0 else fst (Opt.Driver.optimize_pipeline pl0)
             in
             let heap = heap_of_mb heap_mb in
             let exec () =
@@ -218,7 +218,29 @@ let run_cmd =
                 Printf.printf "trace written to %s (%d events, %d dropped)\n" path
                   (Obs.Tracer.total_emitted tr) (Obs.Tracer.total_dropped tr)
             | _ -> ());
-            `Ok ())
+            (* Parallel runs are re-validated against the static
+               boundedness certificate: every pool peak under its certified
+               bound, facade count a multiple of the per-thread population.
+               The certificate is derived from the pre-optimization P' —
+               the compiler's pools are sized from it, and optimized runs
+               can only touch fewer slots. *)
+            (match workers with
+            | None -> `Ok ()
+            | Some _ -> (
+                let cert = Analysis.Certify.of_pipeline pl0 in
+                match Facade_vm.Cert_check.validate pl0 o with
+                | Ok () ->
+                    Printf.printf
+                      "certificate: ok (%d facades/thread certified, paper \
+                       count %d)\n"
+                      cert.Analysis.Certify.per_thread
+                      cert.Analysis.Certify.paper_per_thread;
+                    `Ok ()
+                | Error errs ->
+                    List.iter
+                      (fun e -> Printf.printf "certificate: %s\n" e)
+                      errs;
+                    `Error (false, "boundedness certificate violated"))))
   in
   Cmd.v
     (Cmd.info "run"
@@ -319,7 +341,16 @@ let inspect_cmd =
           ~doc:"Emit the parseable textual format (compose with $(b,transform)).")
   in
   let run name original as_text =
-    match find_sample name with
+    (* [racy_counter] is inspectable (it seeds the race-detector CI job)
+       but deliberately not runnable: with workers it is a real race. *)
+    let sample =
+      match find_sample name with
+      | Some _ as s -> s
+      | None when String.equal name Samples.racy_counter.Samples.name ->
+          Some Samples.racy_counter
+      | None -> None
+    in
+    match sample with
     | None -> `Error (true, "unknown sample " ^ name)
     | Some s ->
         let program =
@@ -432,12 +463,28 @@ let json_flag =
     & info [ "json" ]
         ~doc:"Emit findings as a JSON object on stdout (for CI consumption).")
 
-let emit_findings ~file ~json findings =
+let strict_flag =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit nonzero on any warning-or-above finding (e.g. the static \
+           race detector's). Without it only error-severity findings fail \
+           the command; warnings still print.")
+
+(* Findings always print in the canonical sorted order (method, block,
+   index, analysis, message) so text and JSON output are byte-stable
+   across runs. *)
+let emit_findings ~file ~json ~strict findings =
+  let findings = Analysis.Finding.sort findings in
   if json then print_endline (Analysis.Finding.list_to_json ~file findings)
   else List.iter (fun f -> print_endline (Analysis.Finding.to_string f)) findings;
-  match findings with
+  let threshold =
+    if strict then Analysis.Finding.Warning else Analysis.Finding.Error
+  in
+  match List.filter (Analysis.Finding.at_least threshold) findings with
   | [] ->
-      if not json then print_endline "no findings";
+      if (not json) && findings = [] then print_endline "no findings";
       `Ok ()
   | fs -> `Error (false, Printf.sprintf "%d finding(s)" (List.length fs))
 
@@ -458,7 +505,7 @@ let findings_of_file file analyze =
       | [] -> analyze program)
 
 let check_cmd =
-  let run file json no_opt =
+  let run file json strict no_opt =
     let findings =
       findings_of_file file (fun program ->
           match Analysis.Lint.check_program program with
@@ -475,18 +522,20 @@ let check_cmd =
                     { f with Analysis.Finding.analysis = "opt-" ^ f.Analysis.Finding.analysis })
                   (Analysis.Lint.verify_findings p' @ Analysis.Lint.check_program p'))
     in
-    emit_findings ~file ~json findings
+    emit_findings ~file ~json ~strict findings
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Verify a jir source file: structural well-formedness plus the \
-          definite-assignment and monitor-pairing analyses. Unless \
-          $(b,--no-opt) is given, the optimizer pipeline then runs over the \
-          clean program and the same checks re-run on its output (findings \
-          prefixed $(b,opt-)), proving the passes preserve the invariants on \
-          this input.")
-    Term.(ret (const run $ jir_file_arg $ json_flag $ no_opt))
+          definite-assignment, monitor-pairing and interprocedural \
+          static-race analyses. Unless $(b,--no-opt) is given, the \
+          optimizer pipeline then runs over the clean program and the same \
+          checks re-run on its output (findings prefixed $(b,opt-)), \
+          proving the passes preserve the invariants on this input. With \
+          $(b,--strict), warning-severity findings (races) also fail the \
+          command.")
+    Term.(ret (const run $ jir_file_arg $ json_flag $ strict_flag $ no_opt))
 
 (* ---------- opt-report ---------- *)
 
@@ -559,7 +608,7 @@ let lint_cmd =
     | cls :: (_ :: _ as fields) -> (cls, fields)
     | _ -> failwith (Printf.sprintf "bad --boundary entry %S (want Class:field...)" entry)
   in
-  let run file data_roots boundary json =
+  let run file data_roots boundary json strict =
     match
       findings_of_file file (fun program ->
           let classification =
@@ -576,17 +625,19 @@ let lint_cmd =
           in
           Analysis.Lint.check_program ?classification program)
     with
-    | findings -> emit_findings ~file ~json findings
+    | findings -> emit_findings ~file ~json ~strict findings
     | exception Failure msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the FACADE invariant linter over a jir source file: structural \
-          verification, definite assignment, monitor pairing, and (with \
-          $(b,--data)) the boundary-leak detector enforcing the paper's \
-          interaction-point discipline.")
-    Term.(ret (const run $ jir_file_arg $ data_roots $ boundary $ json_flag))
+          verification, definite assignment, monitor pairing, the \
+          interprocedural static race detector, and (with $(b,--data)) the \
+          boundary-leak detector enforcing the paper's interaction-point \
+          discipline.")
+    Term.(
+      ret (const run $ jir_file_arg $ data_roots $ boundary $ json_flag $ strict_flag))
 
 let () =
   let info =

@@ -1,0 +1,116 @@
+open Jir
+
+(* The CHA call graph shared by the concurrency analyses (races, escape,
+   certify). Nodes are method keys "Class.method" where [Class] is the
+   DECLARING class of the body, so a key always resolves to one concrete
+   [Ir.meth]. Virtual edges use the same class-hierarchy resolution as the
+   devirtualization pass ({!Facade_compiler.Optimize.possible_targets});
+   Special/Static edges walk the super chain to the declaring class.
+
+   Post-transform programs retain the original data classes alongside
+   their generated [$Facade] twins; the originals are unreachable from the
+   new entry and must not contribute edges (or spurious aliasing) to the
+   analysis, so any class with a [$Facade] sibling is excluded from the
+   analysis universe — the same convention the boundary-leak linter
+   uses. *)
+
+type t = {
+  program : Program.t;
+  entry : string;
+  edges : (string, string list) Hashtbl.t;
+  methods : (string, Ir.cls * Ir.meth) Hashtbl.t;
+  reach : (string, unit) Hashtbl.t;
+}
+
+let key ~cls ~name = cls ^ "." ^ name
+
+let kept_original p cname =
+  (not (String.ends_with ~suffix:"$Facade" cname))
+  && Program.mem p (cname ^ "$Facade")
+
+(* Declaring class of [name] starting the lookup at [cls]. *)
+let declaring p cls name =
+  if Option.is_some (Program.find_method p ~cls ~name) then Some cls
+  else
+    List.find_opt
+      (fun c -> Option.is_some (Program.find_method p ~cls:c ~name))
+      (Hierarchy.super_chain p cls)
+
+let call_targets p kind cls name =
+  match (kind : Ir.call_kind) with
+  | Ir.Virtual ->
+      List.map (fun c -> key ~cls:c ~name) (Facade_compiler.Optimize.possible_targets p ~cls ~name)
+  | Ir.Special | Ir.Static -> (
+      match declaring p cls name with
+      | Some c -> [ key ~cls:c ~name ]
+      | None -> [])
+
+let build p =
+  let edges = Hashtbl.create 64 in
+  let methods = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Ir.cls) ->
+      if not (kept_original p c.Ir.cname) then
+        List.iter
+          (fun (m : Ir.meth) ->
+            let k = key ~cls:c.Ir.cname ~name:m.Ir.mname in
+            Hashtbl.replace methods k (c, m);
+            let callees = ref [] in
+            Ir.iter_instrs
+              (function
+                | Ir.Call (_, kind, cls, name, _, _) ->
+                    List.iter
+                      (fun t -> if not (List.mem t !callees) then callees := t :: !callees)
+                      (call_targets p kind cls name)
+                | _ -> ())
+              m;
+            Hashtbl.replace edges k (List.rev !callees))
+          c.Ir.cmethods)
+    (Program.classes p);
+  let entry_cls, entry_m = Program.entry p in
+  let entry = key ~cls:entry_cls ~name:entry_m in
+  let reach = Hashtbl.create 64 in
+  let rec visit k =
+    if Hashtbl.mem methods k && not (Hashtbl.mem reach k) then begin
+      Hashtbl.replace reach k ();
+      List.iter visit (Option.value ~default:[] (Hashtbl.find_opt edges k))
+    end
+  in
+  visit entry;
+  { program = p; entry; edges; methods; reach }
+
+let program t = t.program
+
+let entry_key t = t.entry
+
+let callees t k = Option.value ~default:[] (Hashtbl.find_opt t.edges k)
+
+let method_of_key t k = Hashtbl.find_opt t.methods k
+
+let is_reachable t k = Hashtbl.mem t.reach k
+
+let reachable t =
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) t.reach [])
+
+(* Closure over call edges from a seed set — used for "everything a spawned
+   thread may execute". *)
+let reachable_from t seeds =
+  let seen = Hashtbl.create 16 in
+  let rec visit k =
+    if Hashtbl.mem t.methods k && not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      List.iter visit (callees t k)
+    end
+  in
+  List.iter visit seeds;
+  seen
+
+let iter_methods t f =
+  let keys =
+    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.methods [])
+  in
+  List.iter
+    (fun k ->
+      let c, m = Hashtbl.find t.methods k in
+      f k c m)
+    keys

@@ -1,0 +1,147 @@
+open Jir
+module Iset = Pointsto.Iset
+module Rn = Facade_compiler.Rt_names
+
+(* Thread/iteration escape analysis over the points-to abstraction.
+
+   An abstract object escapes its creating thread when it is reachable —
+   through any chain of heap edges — from a [sys.run_thread] operand
+   (handed to another thread) or from a static field (visible to every
+   thread). Everything else is confined: iteration-local when its site
+   executes strictly inside an iteration frame (the runtime reclaims its
+   pages at the matching [Iter_end]), thread-local otherwise.
+
+   The lock-elision pass keys off [escapes]: a monitor whose operand only
+   ever aliases non-escaping objects can never be contended. *)
+
+type kind = Thread_local | Iteration_local | Escaping
+
+let kind_label = function
+  | Thread_local -> "thread-local"
+  | Iteration_local -> "iteration-local"
+  | Escaping -> "escaping"
+
+type t = {
+  pt : Pointsto.t;
+  escaping : Iset.t;
+  kinds : kind array;  (* indexed by object id *)
+}
+
+(* Iteration depth at each (block, index): a forward must-dataflow with
+   meet = min over joining paths; [None] is "unreached". *)
+module Dsolve = Dataflow.Solver (struct
+  type t = int option
+
+  let equal = Option.equal Int.equal
+
+  let join a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (min a b)
+end)
+
+let depth_step d ins =
+  match ins with
+  | Ir.Iter_start -> d + 1
+  | Ir.Iter_end -> max 0 (d - 1)
+  | _ -> d
+
+let iter_depths (m : Ir.meth) =
+  if Array.length m.Ir.body = 0 then [||]
+  else begin
+    let cfg = Cfg.of_method m in
+    let r =
+      Dsolve.solve ~dir:Dataflow.Forward ~cfg ~init:(Some 0) ~bottom:None
+        ~transfer:(fun b st ->
+          Option.map
+            (fun d -> List.fold_left depth_step d m.Ir.body.(b).Ir.instrs)
+            st)
+    in
+    Array.mapi
+      (fun b (blk : Ir.block) ->
+        let d = ref (Option.value ~default:0 r.Dsolve.inb.(b)) in
+        Array.of_list
+          (List.map
+             (fun ins ->
+               let here = !d in
+               d := depth_step !d ins;
+               here)
+             blk.Ir.instrs))
+      m.Ir.body
+  end
+
+let build pt =
+  let cg = Pointsto.callgraph pt in
+  let roots =
+    List.fold_left
+      (fun acc (mk, _, _, v) -> Iset.union acc (Pointsto.pts pt ~mkey:mk v))
+      (Pointsto.all_static_pts pt)
+      (Pointsto.spawn_sites pt)
+  in
+  (* close over heap edges: anything stored in an escaping object escapes *)
+  let escaping = ref roots in
+  let work = ref (Iset.elements roots) in
+  while !work <> [] do
+    let o = List.hd !work in
+    work := List.tl !work;
+    List.iter
+      (fun f ->
+        Iset.iter
+          (fun o' ->
+            if not (Iset.mem o' !escaping) then begin
+              escaping := Iset.add o' !escaping;
+              work := o' :: !work
+            end)
+          (Pointsto.field_pts pt o f))
+      (Pointsto.fields_of pt o)
+  done;
+  let escaping = !escaping in
+  let depth_cache = Hashtbl.create 16 in
+  let depth_at mk b i =
+    let arr =
+      match Hashtbl.find_opt depth_cache mk with
+      | Some a -> a
+      | None ->
+          let a =
+            match Callgraph.method_of_key cg mk with
+            | Some (_, m) -> iter_depths m
+            | None -> [||]
+          in
+          Hashtbl.replace depth_cache mk a;
+          a
+    in
+    if b < Array.length arr && i < Array.length arr.(b) then arr.(b).(i) else 0
+  in
+  let kinds =
+    Array.init (Pointsto.num_objs pt) (fun o ->
+        if Iset.mem o escaping then Escaping
+        else
+          let mk, b, i = Pointsto.site_of pt o in
+          if depth_at mk b i > 0 then Iteration_local else Thread_local)
+  in
+  { pt; escaping; kinds }
+
+let escapes t o = Iset.mem o t.escaping
+
+let kind_of t o = t.kinds.(o)
+
+let classify t =
+  Array.to_list (Array.mapi (fun o k -> (o, k)) t.kinds)
+
+let counts t =
+  Array.fold_left
+    (fun (tl, il, es) k ->
+      match k with
+      | Thread_local -> (tl + 1, il, es)
+      | Iteration_local -> (tl, il + 1, es)
+      | Escaping -> (tl, il, es + 1))
+    (0, 0, 0) t.kinds
+
+let site_report t =
+  List.map
+    (fun (o, k) ->
+      let mk, b, i = Pointsto.site_of t.pt o in
+      let cls = Option.value ~default:"?" (Pointsto.class_of t.pt o) in
+      (mk, b, i, cls, k))
+    (classify t)
+  |> List.sort compare

@@ -1,0 +1,26 @@
+(** Thread/iteration escape analysis over the points-to abstraction.
+
+    An abstract object escapes when it is heap-reachable from a
+    [sys.run_thread] operand or a static field; otherwise it is
+    iteration-local (its site executes inside an iteration frame, so the
+    runtime reclaims it at [Iter_end]) or thread-local. Lock elision keys
+    off {!escapes}. *)
+
+type kind = Thread_local | Iteration_local | Escaping
+
+val kind_label : kind -> string
+
+type t
+
+val build : Pointsto.t -> t
+
+val escapes : t -> int -> bool
+val kind_of : t -> int -> kind
+
+val classify : t -> (int * kind) list
+
+val counts : t -> int * int * int
+(** (thread-local, iteration-local, escaping) site counts. *)
+
+val site_report : t -> (string * int * int * string * kind) list
+(** Sorted (method key, block, index, class, kind) per allocation site. *)

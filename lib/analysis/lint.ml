@@ -11,8 +11,9 @@ let check_program ?classification (p : Program.t) =
           c.Ir.cmethods)
       (Program.classes p)
   in
+  let races = Races.check p in
   match classification with
-  | Some cl -> per_method @ Leak.check cl p
-  | None -> per_method
+  | Some cl -> per_method @ Leak.check cl p @ races
+  | None -> per_method @ races
 
 let verify_findings p = List.map Finding.of_verify_error (Verify.check_program p)

@@ -2,9 +2,11 @@
     whole program and collects findings.
 
     [check_program] runs definite assignment and monitor pairing on every
-    method body; when a classification is supplied (the [--data] roots of
-    [facade_cli lint], or the pipeline's own classification), the
-    boundary-leak detector runs too. Structural verification is separate
+    method body, plus the interprocedural race detector ({!Races}) when
+    the program spawns threads; when a classification is supplied (the
+    [--data] roots of [facade_cli lint], or the pipeline's own
+    classification), the boundary-leak detector runs too. Structural
+    verification is separate
     ({!Jir.Verify}); [verify_findings] wraps its errors in the same
     finding type so CLI output is uniform. *)
 

@@ -14,3 +14,10 @@
     held-monitor multiset (e.g. an enter on only one branch arm). *)
 
 val check : where:string -> Jir.Ir.meth -> Finding.t list
+
+val as_enter : Jir.Ir.instr -> Jir.Ir.var option
+(** The monitored variable, if the instruction is a [Monitor_enter] or the
+    P′ [lock.enter] intrinsic. Shared with the race detector's lockset
+    dataflow. *)
+
+val as_exit : Jir.Ir.instr -> Jir.Ir.var option

@@ -1,0 +1,57 @@
+(** Andersen-style, flow- and context-insensitive points-to analysis over
+    the {!Callgraph} universe.
+
+    Abstract objects are allocation sites ([New], [New_array], string
+    literals, and in P' the [rt.alloc*]/[convert.*] intrinsics). Facade
+    plumbing ([pool.param]/[pool.receiver]/[pool.resolve]/[facade.bind]/
+    [facade.read]) is transparent: facade variables alias the page objects
+    they are bound to, so lock identity and escape behaviour attach to the
+    page record in both the original program and P'. *)
+
+type t
+
+type site = {
+  skey : string;
+  sblock : int;
+  sindex : int;
+  sclass : string option;
+  stid : int option;
+  ssummary : bool;
+}
+
+module Iset : Set.S with type elt = int
+
+val blocks_in_cycle : Jir.Ir.meth -> bool array
+(** Per-block: is the block on a CFG cycle (may execute more than once)? *)
+
+val build : ?cg:Callgraph.t -> Jir.Program.t -> t
+
+val callgraph : t -> Callgraph.t
+
+val pts : t -> mkey:string -> Jir.Ir.var -> Iset.t
+(** Points-to set of a variable in the method with key [mkey]. *)
+
+val class_of : t -> int -> string option
+(** Class of an abstract object: named at the site, or (in P') resolved
+    through the type-id map recovered from [pool.*]/[rt.checkcast]
+    destination types. *)
+
+val is_summary : t -> int -> bool
+(** May the abstract object denote more than one runtime object? *)
+
+val site_of : t -> int -> string * int * int
+val num_objs : t -> int
+
+val field_pts : t -> int -> string -> Iset.t
+val fields_of : t -> int -> string list
+val static_pts : t -> cls:string -> field:string -> Iset.t
+val all_static_pts : t -> Iset.t
+
+val spawn_sites : t -> (string * int * int * Jir.Ir.var) list
+(** Every [sys.run_thread] site in the universe: (method key, block,
+    index, operand variable). *)
+
+val run_targets : t -> mkey:string -> Jir.Ir.var -> string list
+(** Method keys a [sys.run_thread] on the given operand may execute:
+    [run] resolved on the classes of the operand's points-to set, falling
+    back to the operand's declared type. Sorted. *)

@@ -1,0 +1,24 @@
+(** Static race detection: Eraser-style locksets over the FACADE
+    spawn/join structure.
+
+    Threads are created by [sys.run_thread] and joined at the enclosing
+    [Iter_end] (the runtime's iteration barrier), so an access races with
+    a spawned thread only between the spawn site and the next iteration
+    end; two spawned threads race with each other only when their spawn
+    regions overlap. Accesses are field, static-field, array-element and
+    P′ page-record reads/writes; a lock discharges a pair only when the
+    held variable must-aliases a single non-summary abstract object in
+    both threads.
+
+    Sibling threads whose receivers are distinct (or summary) objects are
+    checked against each other only through static fields — the FACADE
+    worker idiom partitions instance state per worker, and flagging every
+    same-site field access would drown real races in noise (DESIGN.md
+    §12 discusses the tradeoff).
+
+    Findings use analysis name ["race"] at {!Finding.Warning} severity.
+    Programs with no [sys.run_thread] short-circuit to no findings. *)
+
+val has_spawn : Jir.Program.t -> bool
+
+val check : Jir.Program.t -> Finding.t list

@@ -1,0 +1,23 @@
+module A = Analysis
+
+(* Bridges the static boundedness certificate ({!Analysis.Certify}) to a
+   finished VM run: extracts the observed per-type pool peaks from
+   {!Exec_stats} and replays both the static cross-check (certificate vs
+   the compiler's pool bounds) and the runtime one (certificate vs the
+   peaks and the total facade population). The parallel engine merges
+   child peaks with [max] before outcomes reach us, so a single call
+   covers every worker. *)
+
+let pool_peaks (stats : Exec_stats.t) =
+  List.sort compare
+    (Hashtbl.fold
+       (fun type_id idx acc -> (type_id, idx) :: acc)
+       stats.Exec_stats.max_pool_index [])
+
+let validate (pl : Facade_compiler.Pipeline.t) (o : Interp.outcome) =
+  let cert = A.Certify.of_pipeline pl in
+  match A.Certify.static_errors pl cert with
+  | _ :: _ as errs -> Error errs
+  | [] ->
+      A.Certify.validate_runtime cert ~max_pool_index:(pool_peaks o.Interp.stats)
+        ~facades_allocated:o.Interp.facades_allocated

@@ -1,0 +1,15 @@
+(** Runtime validation of the object-boundedness certificate.
+
+    {!Analysis.Certify} derives the per-type facade-pool bounds a
+    generated P′ can ever need; this module checks a finished VM run
+    against that certificate — every observed pool peak under its bound,
+    the total facade population an exact multiple of the certified
+    per-thread count. *)
+
+val pool_peaks : Exec_stats.t -> (int * int) list
+(** The observed (type id, deepest slot index) pairs, sorted. *)
+
+val validate :
+  Facade_compiler.Pipeline.t -> Interp.outcome -> (unit, string list) result
+(** Derive the certificate for [pl], check it against the compiler's
+    bounds, then against the run's pool peaks and facade count. *)

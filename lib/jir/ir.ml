@@ -91,3 +91,6 @@ let map_blocks f m = { m with body = Array.mapi f m.body }
 
 let iter_instrs f m =
   Array.iter (fun b -> List.iter f b.instrs) m.body
+
+let iteri_instrs f m =
+  Array.iteri (fun b blk -> List.iteri (fun i ins -> f b i ins) blk.instrs) m.body

@@ -103,3 +103,7 @@ val method_instr_count : cls -> int
 
 val map_blocks : (int -> block -> block) -> meth -> meth
 val iter_instrs : (instr -> unit) -> meth -> unit
+
+val iteri_instrs : (int -> int -> instr -> unit) -> meth -> unit
+(** [iteri_instrs f m] calls [f block index instr] for every instruction,
+    with positions matching {!Analysis} finding coordinates. *)

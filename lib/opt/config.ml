@@ -6,20 +6,22 @@ type t = {
   copy_prop : bool;
   dce : bool;
   devirt : bool;       (* class-hierarchy-analysis devirtualization *)
+  lock_elide : bool;   (* escape-analysis-driven monitor removal *)
   inline : bool;       (* leaf-method inlining, same-side only *)
   inline_budget : int; (* max callee instructions eligible for inlining *)
 }
 
 let default =
   { const_fold = true; copy_prop = true; dce = true; devirt = true;
-    inline = true; inline_budget = 8 }
+    lock_elide = true; inline = true; inline_budget = 8 }
 
 let none =
   { const_fold = false; copy_prop = false; dce = false; devirt = false;
-    inline = false; inline_budget = 0 }
+    lock_elide = false; inline = false; inline_budget = 0 }
 
 let only_const_fold = { none with const_fold = true }
 let only_copy_prop = { none with copy_prop = true }
 let only_dce = { none with dce = true }
 let only_devirt = { none with devirt = true }
+let only_lock_elide = { none with lock_elide = true }
 let only_inline = { none with inline = true; inline_budget = default.inline_budget }

@@ -39,6 +39,7 @@ let optimize_program ?(config = Config.default) ?(may_inline = fun _ _ -> true) 
   let acc = run_pass "copy_prop" "copies" config.Config.copy_prop Copy_prop.run acc in
   let acc = run_pass "dce" "removed" config.Config.dce Dce.run acc in
   let acc = run_pass "devirt" "devirtualized" config.Config.devirt Devirt.run acc in
+  let acc = run_pass "lock_elide" "elided" config.Config.lock_elide Lock_elide.run acc in
   let acc =
     run_pass "inline" "inlined" config.Config.inline
       (Inline.run ~budget:config.Config.inline_budget ~may_inline)

@@ -1220,6 +1220,77 @@ let threads =
     expected = Some (Ir.Cint 201);
   }
 
+(* The seeded racy twin of [threads]: same spawn/join structure, but [inc]
+   bumps the shared counter without taking the monitor. The static race
+   detector must flag it; it is exported for the analysis tests but kept
+   out of [all] (the parallel differential would be genuinely racy).
+   Sequentially the spawned runnables execute inline, so the expected
+   result still holds on the non-parallel paths. *)
+let racy_counter =
+  let worker =
+    let inc =
+      let m = B.create "inc" in
+      let b = B.entry m in
+      let c = B.fresh m int_t in
+      let one = B.fresh m int_t in
+      let c2 = B.fresh m int_t in
+      B.fload b ~dst:c ~obj:"this" ~field:"count";
+      B.const_i b one 1;
+      B.binop b c2 Ir.Add c one;
+      B.fstore b ~obj:"this" ~field:"count" ~src:c2;
+      B.ret b None;
+      B.finish m
+    in
+    let run =
+      let m = B.create "run" in
+      B.declare m "i" int_t;
+      B.declare m "one" int_t;
+      B.declare m "limit" int_t;
+      B.declare m "cond" int_t;
+      let b0 = B.entry m in
+      let b_cond = B.block m in
+      let b_body = B.block m in
+      let b_end = B.block m in
+      B.const_i b0 "i" 0;
+      B.const_i b0 "one" 1;
+      B.const_i b0 "limit" 100;
+      B.jump b0 b_cond;
+      B.binop b_cond "cond" Ir.Lt "i" "limit";
+      B.branch b_cond "cond" ~then_:b_body ~else_:b_end;
+      B.call b_body ~recv:"this" ~kind:Ir.Virtual ~cls:"SharedCounter" ~name:"inc" [];
+      B.binop b_body "i" Ir.Add "i" "one";
+      B.jump b_body b_cond;
+      B.ret b_end None;
+      B.finish m
+    in
+    B.cls "SharedCounter"
+      ~fields:[ B.field "count" int_t ]
+      ~methods:[ empty_init (); inc; run ]
+  in
+  let main =
+    let m = B.create ~static:true "main" ~ret:int_t in
+    let b = B.entry m in
+    let c = B.fresh m (Jtype.Ref "SharedCounter") in
+    let r = B.fresh m int_t in
+    B.new_obj b c "SharedCounter";
+    B.call b ~recv:c ~kind:Ir.Special ~cls:"SharedCounter" ~name:ctor_name [];
+    B.iter_start b;
+    B.add b (Ir.Intrinsic (None, Facade_compiler.Rt_names.run_thread, [ Ir.Var c ]));
+    B.add b (Ir.Intrinsic (None, Facade_compiler.Rt_names.run_thread, [ Ir.Var c ]));
+    B.iter_end b;
+    B.call b ~recv:c ~kind:Ir.Virtual ~cls:"SharedCounter" ~name:"inc" [];
+    B.fload b ~dst:r ~obj:c ~field:"count";
+    B.ret b (Some r);
+    B.finish m
+  in
+  {
+    name = "racy_counter";
+    program =
+      Program.make ~entry:("Main", "main") [ worker; B.cls "Main" ~methods:[ main ] ];
+    spec = spec [ "SharedCounter"; "Main" ];
+    expected = Some (Ir.Cint 201);
+  }
+
 (* ---------- boundary classes (annotated data fields, paper 4.1) ---------- *)
 
 let boundary =

@@ -79,6 +79,12 @@ val threads : sample
     its intrinsic lock: exercises per-thread facade pools and page
     managers plus the shared lock pool (§3.4). *)
 
+val racy_counter : sample
+(** The seeded racy twin of {!threads}: identical spawn/join structure but
+    the shared counter is incremented without its monitor. The static race
+    detector must flag it; deliberately not in {!all} (running it with
+    workers would be a real race). *)
+
 val boundary : sample
 (** A boundary class with an annotated data field (the paper's GraphChi
     workflow, §4.1): the class stays on the heap, the field becomes a page

@@ -440,10 +440,10 @@ let test_pipeline_validation_catches_bad_pool_index () =
 let test_finding_json () =
   let f = A.Finding.make ~analysis:"def-assign" ~where:"Main.main" ~block:2 ~index:0 "x \"quoted\"" in
   Alcotest.(check string) "json escaping"
-    {|{"analysis":"def-assign","where":"Main.main","block":2,"index":0,"what":"x \"quoted\""}|}
+    {|{"analysis":"def-assign","severity":"error","where":"Main.main","block":2,"index":0,"what":"x \"quoted\""}|}
     (A.Finding.to_json f);
   Alcotest.(check string) "list wrapper"
-    {|{"file":"a.jir","count":1,"findings":[{"analysis":"def-assign","where":"Main.main","block":2,"index":0,"what":"x \"quoted\""}]}|}
+    {|{"file":"a.jir","count":1,"findings":[{"analysis":"def-assign","severity":"error","where":"Main.main","block":2,"index":0,"what":"x \"quoted\""}]}|}
     (A.Finding.list_to_json ~file:"a.jir" [ f ])
 
 let () =

@@ -170,7 +170,10 @@ let agree tag (ref_o : I.outcome) ref_heap (o : I.outcome) o_heap =
     o.I.stats.Facade_vm.Exec_stats.page_records;
   Alcotest.(check int) (tag ^ ": same facades") ref_o.I.facades_allocated
     o.I.facades_allocated;
-  Alcotest.(check int) (tag ^ ": same locks peak") ref_o.I.locks_peak o.I.locks_peak;
+  (* Lock elision may shrink the lock-pool peak but never grow it. *)
+  Alcotest.(check bool)
+    (tag ^ ": locks peak not above reference") true
+    (o.I.locks_peak <= ref_o.I.locks_peak);
   let r1, p1, y1 = store_triple ref_o and r2, p2, y2 = store_triple o in
   Alcotest.(check (triple int int int)) (tag ^ ": same pagestore metrics")
     (r1, p1, y1) (r2, p2, y2);
