@@ -31,6 +31,11 @@ let lock_exit = "lock.exit"
 let convert_to = "convert.to"
 let convert_from = "convert.from"
 let print = "sys.print"
+
+let io_read = "sys.io_read"
+(* Simulated blocking I/O: argument is microseconds of simulated read
+   latency, charged to the sim clock as [Load] and (when the VM runs with a
+   nonzero io_scale) realized as a real sleep so domains can overlap it. *)
 let arraycopy = "sys.arraycopy"
 let current_thread = "sys.current_thread"
 let run_thread = "sys.run_thread"

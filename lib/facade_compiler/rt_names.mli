@@ -59,6 +59,12 @@ val print : string
 val arraycopy : string
 (** The modelled native [System.arraycopy]. *)
 
+val io_read : string
+(** (microseconds) → microseconds: simulated blocking device read. The VM
+    charges the latency to the sim clock as [Load]; when run with a nonzero
+    [io_scale] it also sleeps for the scaled real time, so concurrent
+    logical threads overlap their I/O exactly like the engine layers do. *)
+
 val current_thread : string
 (** () → logical thread id. *)
 

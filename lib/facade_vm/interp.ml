@@ -30,7 +30,12 @@ type facade_rt = {
   bounds : int array;
   locks : Pagestore.Lock_pool.t;
   layout : Layout.t;
-  strings : (int, string) Hashtbl.t;       (* addr -> contents *)
+  strings_frozen : (int, string) Hashtbl.t;  (* pre-interned at setup from
+                                                the program's string constants;
+                                                read-only afterwards, so safe
+                                                to consult without a lock *)
+  intern_frozen : (string, int) Hashtbl.t;
+  strings : (int, string) Hashtbl.t;       (* dynamic: addr -> contents *)
   string_intern : (string, int) Hashtbl.t;
   mutable last_native : int;
   mutable last_pages : int;
@@ -54,6 +59,9 @@ type par_shared = {
 
 type child = {
   c_stats : Exec_stats.t;
+  c_shard : Heapsim.Heap.Shard.t;
+      (* the child's unflushed heap charges, merged into the parent's
+         shard at join (spawn order) *)
   c_anchor : string list;
       (* the parent's (reversed) output at spawn time — a physical suffix
          of its output at join time, where the child's lines splice in *)
@@ -62,6 +70,19 @@ type child = {
 (* Per-logical-thread join state: one group per spawner, children listed
    most-recent-first. *)
 type join_st = { group : Parallel.Sched.group; mutable children : child list }
+
+(* Everything one logical thread accumulates privately while running on a
+   domain: its facade pools (created lazily, as in sequential mode), a
+   pinned page-store handle, and a heap shard. Nothing here is shared, so
+   the allocation hot path touches no mutex; the shard drains into the
+   global heap only at iteration boundaries and joins ([flush_ctx]), and a
+   child's shard is merged into its parent's at [join_children], in spawn
+   order, exactly like the [Exec_stats] shards. *)
+type domain_ctx = {
+  mutable dc_pools : FP.t option;
+  dc_local : Store.local;
+  dc_shard : Heap.Shard.t;
+}
 
 type st = {
   rp : R.program;
@@ -72,10 +93,12 @@ type st = {
   monitors : (int, int) Hashtbl.t;        (* object-mode oid -> entries *)
   oid : int Atomic.t;           (* shared with children in parallel mode *)
   max_steps : int;
+  io_scale : float;             (* real seconds slept per simulated I/O second *)
   mutable thread : int;
   next_thread : int Atomic.t;   (* shared with children in parallel mode *)
   par : par_shared option;
   mutable join : join_st option;
+  mutable ctx : domain_ctx option;  (* Some exactly when par is Some (facade mode) *)
 }
 
 (* ---------- heap accounting ---------- *)
@@ -99,28 +122,83 @@ let mon_locked st f =
 let charge_heap_obj st ~bytes ~data =
   match st.heap with
   | None -> ()
-  | Some h ->
+  | Some h -> (
       let lifetime = if data then Heap.Iteration else Heap.Control in
-      heap_locked st (fun () -> Heap.alloc h ~lifetime ~bytes)
+      match st.ctx with
+      | Some c -> Heap.Shard.alloc c.dc_shard ~lifetime ~bytes
+      | None -> heap_locked st (fun () -> Heap.alloc h ~lifetime ~bytes))
 
 (* Page wrappers are control heap objects; native pages count toward the
-   process footprint. Sync both after every store operation that can
-   allocate. *)
+   process footprint. The cursors are shared, so the caller must hold
+   heap_mu in parallel mode. *)
+let sync_store_heap rt h =
+  let s = Store.stats rt.store in
+  let dn = s.Store.native_bytes - rt.last_native in
+  if dn > 0 then Heap.native_alloc h ~bytes:dn
+  else if dn < 0 then Heap.native_free h ~bytes:(-dn);
+  rt.last_native <- s.Store.native_bytes;
+  let dp = s.Store.pages_created - rt.last_pages in
+  for _ = 1 to dp do
+    Heap.alloc h ~lifetime:Heap.Control ~bytes:Heapsim.Obj_model.page_wrapper_bytes
+  done;
+  rt.last_pages <- s.Store.pages_created
+
+(* Sequentially, sync after every store operation that can allocate; with
+   a domain_ctx the sync is deferred to the next shard flush. *)
 let sync_native st =
-  match st.mode, st.heap with
-  | Facade_mode rt, Some h ->
-      heap_locked st (fun () ->
-          let s = Store.stats rt.store in
-          let dn = s.Store.native_bytes - rt.last_native in
-          if dn > 0 then Heap.native_alloc h ~bytes:dn
-          else if dn < 0 then Heap.native_free h ~bytes:(-dn);
-          rt.last_native <- s.Store.native_bytes;
-          let dp = s.Store.pages_created - rt.last_pages in
-          for _ = 1 to dp do
-            Heap.alloc h ~lifetime:Heap.Control ~bytes:Heapsim.Obj_model.page_wrapper_bytes
-          done;
-          rt.last_pages <- s.Store.pages_created)
-  | (Facade_mode _ | Object_mode), _ -> ()
+  match st.ctx with
+  | Some _ -> ()
+  | None -> (
+      match st.mode, st.heap with
+      | Facade_mode rt, Some h -> heap_locked st (fun () -> sync_store_heap rt h)
+      | (Facade_mode _ | Object_mode), _ -> ())
+
+(* Drain this thread's shard into the shared structures: publish the
+   pending page-store record count, then (one heap_mu acquisition) replay
+   the heap charges and resync native/page-wrapper deltas. Called at
+   iteration boundaries and joins — the happens-before edges the race
+   detector models — so sequential and parallel runs agree on every
+   additive total. *)
+let flush_ctx st =
+  match st.ctx with
+  | None -> ()
+  | Some c -> (
+      Store.local_flush c.dc_local;
+      match st.heap with
+      | None -> ()
+      | Some h ->
+          let trace = Obs.Trace.on () in
+          let objs, bytes = Heap.Shard.pending c.dc_shard in
+          let worth = not (Heap.Shard.is_empty c.dc_shard) in
+          if trace && worth then Obs.Trace.span_begin ~cat:"vm" "shard_flush";
+          heap_locked st (fun () ->
+              Heap.Shard.flush h c.dc_shard;
+              match st.mode with
+              | Facade_mode rt -> sync_store_heap rt h
+              | Object_mode -> ());
+          if trace && worth then
+            Obs.Trace.span_end
+              ~args:
+                [ ("objects", Obs.Tracer.Aint objs); ("bytes", Obs.Tracer.Aint bytes) ]
+              ())
+
+(* Record/array allocation, routed through the thread's buffered handle
+   when one exists (parallel mode) — no mutex, no shared atomic. *)
+let st_alloc_record st rt ~type_id ~data_bytes =
+  match st.ctx with
+  | Some c -> Store.local_alloc_record c.dc_local ~type_id ~data_bytes
+  | None -> Store.alloc_record rt.store ~thread:st.thread ~type_id ~data_bytes
+
+let st_alloc_array st rt ~type_id ~elem_bytes ~length =
+  match st.ctx with
+  | Some c -> Store.local_alloc_array c.dc_local ~type_id ~elem_bytes ~length
+  | None -> Store.alloc_array rt.store ~thread:st.thread ~type_id ~elem_bytes ~length
+
+let st_alloc_array_oversize st rt ~type_id ~elem_bytes ~length =
+  match st.ctx with
+  | Some c -> Store.local_alloc_array_oversize c.dc_local ~type_id ~elem_bytes ~length
+  | None ->
+      Store.alloc_array_oversize rt.store ~thread:st.thread ~type_id ~elem_bytes ~length
 
 let new_oid st = Atomic.fetch_and_add st.oid 1 + 1
 
@@ -211,32 +289,43 @@ let the_rt st =
   | Object_mode -> vm_err "runtime intrinsic outside facade mode"
 
 (* Facade pools are strictly thread-local (paper 3.4): each logical thread
-   gets its own Pools instance on first use. Only the registry lookup is
-   shared; in parallel mode it is mutex-guarded. *)
+   gets its own Pools instance on first use. With a domain_ctx the pool
+   handle lives in thread-private state, so after the first use the lookup
+   is lock-free; only the registration in the shared registry (read by
+   [finish]) takes the mutex. *)
 let pools_of st rt =
-  let lookup_or_create () =
-    match Hashtbl.find_opt rt.pools st.thread with
-    | Some p -> (p, false)
-    | None ->
-        let p = FP.create ~bounds:rt.bounds in
-        Hashtbl.replace rt.pools st.thread p;
-        (p, true)
-  in
-  let p, fresh =
-    match st.par with
-    | None -> lookup_or_create ()
-    | Some sh ->
-        Mutex.lock sh.pools_mu;
-        Fun.protect ~finally:(fun () -> Mutex.unlock sh.pools_mu) lookup_or_create
-  in
-  if fresh then (
-    match st.heap with
-    | Some h ->
-        heap_locked st (fun () ->
-            Heap.alloc_many h ~lifetime:Heap.Permanent ~bytes_each:32
-              ~count:(FP.total_facades p))
-    | None -> ());
-  p
+  match st.ctx with
+  | Some c -> (
+      match c.dc_pools with
+      | Some p -> p
+      | None ->
+          let p = FP.create ~bounds:rt.bounds in
+          (match st.par with
+          | Some sh ->
+              Mutex.lock sh.pools_mu;
+              Hashtbl.replace rt.pools st.thread p;
+              Mutex.unlock sh.pools_mu
+          | None -> Hashtbl.replace rt.pools st.thread p);
+          c.dc_pools <- Some p;
+          (* The pool facades are heap objects — the paper's O(t·n). *)
+          (match st.heap with
+          | Some _ ->
+              Heap.Shard.alloc_many c.dc_shard ~lifetime:Heap.Permanent
+                ~bytes_each:32 ~count:(FP.total_facades p)
+          | None -> ());
+          p)
+  | None -> (
+      match Hashtbl.find_opt rt.pools st.thread with
+      | Some p -> p
+      | None ->
+          let p = FP.create ~bounds:rt.bounds in
+          Hashtbl.replace rt.pools st.thread p;
+          (match st.heap with
+          | Some h ->
+              Heap.alloc_many h ~lifetime:Heap.Permanent ~bytes_each:32
+                ~count:(FP.total_facades p)
+          | None -> ());
+          p)
 
 (* ---------- dispatch ---------- *)
 
@@ -313,8 +402,7 @@ let rec convert_from st rt (visited : (int, int) Hashtbl.t) (v : Value.t) : int 
           (match c with
           | Some c when c.R.c_tid >= 0 ->
               let addr =
-                Store.alloc_record rt.store ~thread:st.thread ~type_id:c.R.c_tid
-                  ~data_bytes:c.R.c_data_bytes
+                st_alloc_record st rt ~type_id:c.R.c_tid ~data_bytes:c.R.c_data_bytes
               in
               Exec_stats.note_record st.stats;
               let ai = Addr.to_int addr in
@@ -342,10 +430,7 @@ let rec convert_from st rt (visited : (int, int) Hashtbl.t) (v : Value.t) : int 
           in
           let eb = Layout.elem_bytes ety in
           let len = Array.length a.Value.elems in
-          let addr =
-            Store.alloc_array rt.store ~thread:st.thread ~type_id:tid ~elem_bytes:eb
-              ~length:len
-          in
+          let addr = st_alloc_array st rt ~type_id:tid ~elem_bytes:eb ~length:len in
           Exec_stats.note_record st.stats;
           let ai = Addr.to_int addr in
           Hashtbl.replace visited a.Value.aid ai;
@@ -373,24 +458,30 @@ and write_slot st rt visited addr ~offset ~jty v =
       vm_err "convertFrom: field/value mismatch at offset %d: %s" offset (Value.to_string v)
 
 and intern_string st rt s =
-  let body () =
-    match Hashtbl.find_opt rt.string_intern s with
-    | Some addr -> addr
-    | None ->
-        let tid = Layout.type_id rt.layout Jtype.string_class in
-        let addr = Store.alloc_record rt.store ~thread:st.thread ~type_id:tid ~data_bytes:0 in
-        Exec_stats.note_record st.stats;
-        sync_native st;
-        let ai = Addr.to_int addr in
-        Hashtbl.replace rt.string_intern s ai;
-        Hashtbl.replace rt.strings ai s;
-        ai
-  in
-  match st.par with
-  | None -> body ()
-  | Some sh ->
-      Mutex.lock sh.str_mu;
-      Fun.protect ~finally:(fun () -> Mutex.unlock sh.str_mu) body
+  (* Program string constants were interned at setup; the frozen table is
+     never written after that, so this lookup is lock-free. Only genuinely
+     dynamic strings fall through to the mutex. *)
+  match Hashtbl.find_opt rt.intern_frozen s with
+  | Some addr -> addr
+  | None -> (
+      let body () =
+        match Hashtbl.find_opt rt.string_intern s with
+        | Some addr -> addr
+        | None ->
+            let tid = Layout.type_id rt.layout Jtype.string_class in
+            let addr = st_alloc_record st rt ~type_id:tid ~data_bytes:0 in
+            Exec_stats.note_record st.stats;
+            sync_native st;
+            let ai = Addr.to_int addr in
+            Hashtbl.replace rt.string_intern s ai;
+            Hashtbl.replace rt.strings ai s;
+            ai
+      in
+      match st.par with
+      | None -> body ()
+      | Some sh ->
+          Mutex.lock sh.str_mu;
+          Fun.protect ~finally:(fun () -> Mutex.unlock sh.str_mu) body)
 
 let rec convert_to st rt (visited : (int, Value.t) Hashtbl.t) (ai : int) : Value.t =
   if ai = 0 then Value.Null
@@ -399,13 +490,16 @@ let rec convert_to st rt (visited : (int, Value.t) Hashtbl.t) (ai : int) : Value
     | Some v -> v
     | None -> (
         let interned =
-          match st.par with
-          | None -> Hashtbl.find_opt rt.strings ai
-          | Some sh ->
-              Mutex.lock sh.str_mu;
-              Fun.protect
-                ~finally:(fun () -> Mutex.unlock sh.str_mu)
-                (fun () -> Hashtbl.find_opt rt.strings ai)
+          match Hashtbl.find_opt rt.strings_frozen ai with
+          | Some _ as s -> s
+          | None -> (
+              match st.par with
+              | None -> Hashtbl.find_opt rt.strings ai
+              | Some sh ->
+                  Mutex.lock sh.str_mu;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock sh.str_mu)
+                    (fun () -> Hashtbl.find_opt rt.strings ai))
         in
         match interned with
         | Some s -> Value.Str s
@@ -642,11 +736,16 @@ and exec st (frame : Value.t array) ins =
       | w -> vm_err "monitorexit on %s" (Value.to_string w))
   | R.Riter_start -> (
       if Obs.Trace.on () then Obs.Trace.instant ~cat:"vm" "iter_start";
+      (* Charges recorded before the frame opens must not land inside it. *)
+      flush_ctx st;
       (match st.heap with
       | Some h -> heap_locked st (fun () -> Heap.iteration_start h)
       | None -> ());
       match st.mode with
-      | Facade_mode rt -> Store.iteration_start rt.store ~thread:st.thread
+      | Facade_mode rt -> (
+          match st.ctx with
+          | Some c -> Store.local_iteration_start c.dc_local
+          | None -> Store.iteration_start rt.store ~thread:st.thread)
       | Object_mode -> ())
   | R.Riter_end -> (
       if Obs.Trace.on () then Obs.Trace.instant ~cat:"vm" "iter_end";
@@ -654,13 +753,22 @@ and exec st (frame : Value.t array) ins =
          finish before the iteration's page managers are bulk-released —
          their default managers are children of the iteration manager. *)
       join_children st;
+      (* Our charges plus the joined children's (merged above) belong to
+         the still-open frame, exactly where inline execution would have
+         put them. *)
+      flush_ctx st;
       (match st.heap with
       | Some h -> heap_locked st (fun () -> Heap.iteration_end h)
       | None -> ());
       match st.mode with
       | Facade_mode rt ->
-          Store.iteration_end rt.store ~thread:st.thread;
-          sync_native st
+          (match st.ctx with
+          | Some c -> Store.local_iteration_end c.dc_local
+          | None -> Store.iteration_end rt.store ~thread:st.thread);
+          sync_native st;
+          (* With a ctx the bulk release's native/page deltas are published
+             by a (shard-empty) flush instead. *)
+          flush_ctx st
       | Object_mode -> ())
   | R.Rrun_thread op ->
       st.stats.Exec_stats.intrinsic_dispatches <- st.stats.Exec_stats.intrinsic_dispatches + 1;
@@ -896,8 +1004,15 @@ and spawn_thread_parallel st rt v =
      hangs off the spawner's *current* iteration manager, exactly as the
      sequential path does. *)
   Store.register_thread ~parent:st.thread rt.store tid;
+  let ctx =
+    {
+      dc_pools = None;
+      dc_local = Store.local rt.store ~thread:tid;
+      dc_shard = Heap.Shard.create ();
+    }
+  in
   let child_st =
-    { st with stats = Exec_stats.create (); thread = tid; join = None }
+    { st with stats = Exec_stats.create (); thread = tid; join = None; ctx = Some ctx }
   in
   let j =
     match st.join with
@@ -908,12 +1023,21 @@ and spawn_thread_parallel st rt v =
         j
   in
   j.children <-
-    { c_stats = child_st.stats; c_anchor = st.stats.Exec_stats.output } :: j.children;
+    {
+      c_stats = child_st.stats;
+      c_shard = ctx.dc_shard;
+      c_anchor = st.stats.Exec_stats.output;
+    }
+    :: j.children;
   Parallel.Sched.spawn j.group (fun () ->
       run_the_run child_st (resolve_run_receiver child_st v);
       (* Grandchildren must finish before this thread's manager subtree
          is released. *)
       join_children child_st;
+      (* Publish the record count now (it's order-independent); the heap
+         shard stays pending for the parent to merge at the join, so heap
+         charges always land through happens-before edges. *)
+      Store.local_flush ctx.dc_local;
       Store.release_thread rt.store tid)
 
 (* Splice a joined child's output at its spawn point. Both lists are
@@ -938,7 +1062,11 @@ and join_children st =
   match st.join with
   | None -> ()
   | Some j ->
-      Parallel.Sched.wait j.group;
+      (* [~help:false]: an external waiter (the main domain) parks instead
+         of busy-helping, so the CPU belongs to the workers while children
+         sit in simulated I/O waits. Workers calling in (children joining
+         grandchildren) still help regardless of the flag. *)
+      Parallel.Sched.wait ~help:false j.group;
       let cs = j.children in
       j.children <- [];
       List.iter
@@ -946,7 +1074,16 @@ and join_children st =
           splice_output st c;
           c.c_stats.Exec_stats.output <- [];
           Exec_stats.merge st.stats c.c_stats)
-        cs
+        cs;
+      (match st.ctx with
+      | Some c ->
+          (* Absorb the children's heap shards in spawn order, mirroring
+             the Exec_stats merge above. *)
+          List.iter
+            (fun ch -> Heap.Shard.merge ~dst:c.dc_shard ~src:ch.c_shard)
+            (List.rev cs);
+          if Obs.Trace.on () && cs <> [] then Obs.Trace.instant ~cat:"vm" "shard_merge"
+      | None -> ())
 
 and exec_intrinsic st frame ret i (ops : R.operand array) =
   let v k = operand frame ops.(k) in
@@ -955,8 +1092,7 @@ and exec_intrinsic st frame ret i (ops : R.operand array) =
   | R.I_alloc ->
       let rt = the_rt st in
       let addr =
-        Store.alloc_record rt.store ~thread:st.thread ~type_id:(as_int (v 0))
-          ~data_bytes:(as_int (v 1))
+        st_alloc_record st rt ~type_id:(as_int (v 0)) ~data_bytes:(as_int (v 1))
       in
       Exec_stats.note_record st.stats;
       sync_native st;
@@ -965,11 +1101,11 @@ and exec_intrinsic st frame ret i (ops : R.operand array) =
       let rt = the_rt st in
       let alloc =
         match i with
-        | R.I_alloc_array -> Store.alloc_array
-        | _ -> Store.alloc_array_oversize
+        | R.I_alloc_array -> st_alloc_array
+        | _ -> st_alloc_array_oversize
       in
       let addr =
-        alloc rt.store ~thread:st.thread ~type_id:(as_int (v 0)) ~elem_bytes:(as_int (v 1))
+        alloc st rt ~type_id:(as_int (v 0)) ~elem_bytes:(as_int (v 1))
           ~length:(as_int (v 2))
       in
       Exec_stats.note_record st.stats;
@@ -977,7 +1113,11 @@ and exec_intrinsic st frame ret i (ops : R.operand array) =
       set (Value.Int (Addr.to_int addr))
   | R.I_free_oversize ->
       let rt = the_rt st in
-      Store.free_oversize_early rt.store ~thread:st.thread (addr_of (check_nonnull (v 0)));
+      (match st.ctx with
+      | Some c -> Store.local_free_oversize_early c.dc_local (addr_of (check_nonnull (v 0)))
+      | None ->
+          Store.free_oversize_early rt.store ~thread:st.thread
+            (addr_of (check_nonnull (v 0))));
       sync_native st
   | R.I_array_length ->
       let rt = the_rt st in
@@ -1057,6 +1197,23 @@ and exec_intrinsic st frame ret i (ops : R.operand array) =
   | R.I_print ->
       st.stats.Exec_stats.output <- Value.to_string (v 0) :: st.stats.Exec_stats.output
   | R.I_current_thread -> set (Value.Int st.thread)
+  | R.I_io_read ->
+      (* Simulated blocking read: the argument is microseconds of device
+         latency. Charged to the sim clock as Load; with a nonzero
+         io_scale the latency is also realized as a real sleep, which is
+         what lets domains overlap I/O even on few cores (the same
+         mechanism the engine layers use). *)
+      let units = as_int (v 0) in
+      if units < 0 then vm_err "sys.io_read: negative latency";
+      let sim = float_of_int units *. 1e-6 in
+      (match st.ctx, st.heap with
+      | Some c, Some _ -> Heap.Shard.charge_io c.dc_shard ~seconds:sim
+      | _, Some h ->
+          heap_locked st (fun () ->
+              Heapsim.Sim_clock.charge (Heap.clock h) Heapsim.Sim_clock.Load sim)
+      | _, None -> ());
+      if st.io_scale > 0.0 then Parallel.Measure.io_wait (sim *. st.io_scale);
+      set (Value.Int units)
   | R.I_arraycopy -> (
       let src = v 0 and dst = v 2 in
       match src, dst with
@@ -1123,12 +1280,13 @@ let run_entry st ~entry_args =
   let result = run_method st m f in
   (* Final barrier: top-level threads spawned outside any iteration. *)
   join_children st;
+  flush_ctx st;
   let o = finish st in
   { o with result }
 
 let default_max_steps = 50_000_000
 
-let make_st ?par rp mode heap max_steps thread =
+let make_st ?par ?(io_scale = 0.0) rp mode heap max_steps thread =
   {
     rp;
     mode;
@@ -1138,11 +1296,36 @@ let make_st ?par rp mode heap max_steps thread =
     monitors = Hashtbl.create 16;
     oid = Atomic.make 0;
     max_steps;
+    io_scale;
     thread;
     next_thread = Atomic.make 1;
     par;
     join = None;
+    ctx = None;
   }
+
+(* Intern every string constant the linker collected, before execution
+   starts: afterwards the frozen tables are read-only, so the hot path
+   never takes str_mu for a program literal. Setup is single-threaded, so
+   the plain store path is safe here even in parallel mode. *)
+let pre_intern_strings st rt =
+  if Array.length st.rp.R.string_consts > 0 then
+    match Layout.type_id rt.layout Jtype.string_class with
+    | exception Not_found -> ()
+    | tid ->
+        Array.iter
+          (fun s ->
+            if not (Hashtbl.mem rt.intern_frozen s) then begin
+              let addr =
+                Store.alloc_record rt.store ~thread:st.thread ~type_id:tid ~data_bytes:0
+              in
+              Exec_stats.note_record st.stats;
+              sync_native st;
+              let ai = Addr.to_int addr in
+              Hashtbl.replace rt.intern_frozen s ai;
+              Hashtbl.replace rt.strings_frozen ai s
+            end)
+          st.rp.R.string_consts
 
 let run_object_linked ?heap ?(max_steps = default_max_steps) ?(entry_args = []) rp =
   let st = make_st rp Object_mode heap max_steps 0 in
@@ -1154,7 +1337,8 @@ let run_object ?heap ?(is_data = fun _ -> false) ?(max_steps = default_max_steps
     (Link.object_program ~is_data ~quicken p)
 
 let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
-    ?(entry_args = []) ?(quicken = false) (pl : Facade_compiler.Pipeline.t) =
+    ?(io_scale = 0.0) ?(entry_args = []) ?(quicken = false)
+    (pl : Facade_compiler.Pipeline.t) =
   let rp = Link.facade_program ~quicken pl in
   let store = Store.create ?page_bytes () in
   let thread = 0 in
@@ -1169,6 +1353,8 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
       bounds;
       locks = Pagestore.Lock_pool.create ();
       layout = pl.Facade_compiler.Pipeline.layout;
+      strings_frozen = Hashtbl.create 16;
+      intern_frozen = Hashtbl.create 16;
       strings = Hashtbl.create 16;
       string_intern = Hashtbl.create 16;
       last_native = 0;
@@ -1188,7 +1374,7 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
             heap_mu = Mutex.create ();
           }
   in
-  let st = make_st ?par rp (Facade_mode rt) heap max_steps thread in
+  let st = make_st ?par ~io_scale rp (Facade_mode rt) heap max_steps thread in
   (* The facade pools themselves are heap objects — the paper's O(t·n). *)
   (match heap with
   | Some h ->
@@ -1196,9 +1382,19 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
         Heap.alloc h ~lifetime:Heap.Permanent ~bytes:32
       done
   | None -> ());
+  (* Setup is still sequential (ctx unset), so these charges sync exactly
+     as in a sequential run. *)
+  pre_intern_strings st rt;
   match par with
   | None -> run_entry st ~entry_args
   | Some sh ->
+      st.ctx <-
+        Some
+          {
+            dc_pools = Some (Hashtbl.find pools 0);
+            dc_local = Store.local store ~thread;
+            dc_shard = Heap.Shard.create ();
+          };
       Fun.protect
         ~finally:(fun () -> Parallel.Pool.shutdown sh.pool)
         (fun () -> run_entry st ~entry_args)

@@ -68,6 +68,7 @@ val run_facade :
   ?max_steps:int ->
   ?page_bytes:int ->
   ?workers:int ->
+  ?io_scale:float ->
   ?entry_args:Value.t list ->
   ?quicken:bool ->
   Facade_compiler.Pipeline.t ->
@@ -80,13 +81,23 @@ val run_facade :
     logical threads in parallel: each [run_thread] enqueues the runnable
     onto work-stealing deques, and the spawner joins its children at the
     next iteration end (before the iteration's pages are bulk-released),
-    at its own termination, and at entry exit. Per-thread [Exec_stats]
-    shards are merged at the join in spawn order and child output is
-    spliced at the spawn point, so results, output, facade counts, and
-    records allocated are identical to the default sequential execution
-    for programs whose threads are data-race-free (the differential suite
-    asserts this for every shipped sample). The step budget is enforced
-    per logical thread in this mode, and heapsim charging (if [?heap] is
-    given) is serialized — simulated GC numbers are approximate under
-    parallelism. Omitting [?workers] leaves the engine byte-for-byte on
-    the sequential path. *)
+    at its own termination, and at entry exit. Every logical thread
+    accumulates its accounting privately — an [Exec_stats] shard, a
+    {!Heapsim.Heap.Shard} of heap charges, and a buffered
+    {!Pagestore.Store.local} handle — so the allocation hot path takes no
+    lock; shards drain into the shared structures only at iteration
+    boundaries and joins, merged in spawn order. Results, output, facade
+    counts, records allocated, final heap totals (objects/bytes allocated,
+    native and live populations), page-store totals, and lock-pool peaks
+    are identical to the default sequential execution for programs whose
+    threads are data-race-free (the differential suite asserts this for
+    every shipped sample). The step budget is enforced per logical thread
+    in this mode, and because batching moves GC trigger points, simulated
+    GC pause {e counts} remain approximate under parallelism. Omitting
+    [?workers] leaves the engine byte-for-byte on the sequential path.
+
+    [?io_scale] (default [0.], i.e. off) sets the real seconds slept per
+    simulated second of [sys.io_read] latency: with it the VM realizes
+    simulated reads as actual blocking waits, which overlap across worker
+    domains — the same mechanism (and typical scale, [5e-3]) the
+    graphchi/hyracks/gps engines use for their scalability curves. *)

@@ -554,6 +554,17 @@ let exec_intrinsic st frame ret name (argv : Value.t list) =
   | n, [ v ] when String.equal n Rt.print ->
       st.stats.Exec_stats.output <- Value.to_string v :: st.stats.Exec_stats.output
   | n, [] when String.equal n Rt.current_thread -> set (Value.Int st.thread)
+  | n, [ u ] when String.equal n Rt.io_read ->
+      (* Simulated blocking read; the baseline charges the sim clock but
+         never sleeps (it has no parallel mode to overlap I/O in). *)
+      let units = as_int u in
+      if units < 0 then vm_err "sys.io_read: negative latency";
+      (match st.heap with
+      | Some h ->
+          Heapsim.Sim_clock.charge (Heap.clock h) Heapsim.Sim_clock.Load
+            (float_of_int units *. 1e-6)
+      | None -> ());
+      set (Value.Int units)
   | n, [ src; sp; dst; dp; len ] when String.equal n Rt.arraycopy -> (
       match src, dst with
       | Value.Arr a, Value.Arr b ->
@@ -879,4 +890,11 @@ let run_facade ?heap ?(max_steps = Interp.default_max_steps) ?page_bytes ?(entry
         Heap.alloc h ~lifetime:Heap.Permanent ~bytes:32
       done
   | None -> ());
+  (* Pre-intern the program's string constants with the same collector the
+     resolved VM uses, so both allocate the identical record population. *)
+  (let consts = Link.string_constants st.p in
+   if Array.length consts > 0 then
+     match Layout.type_id rt.layout Jtype.string_class with
+     | exception Not_found -> ()
+     | _ -> Array.iter (fun s -> ignore (intern_string st rt s)) consts);
   run_entry st ~entry_args

@@ -44,6 +44,35 @@ let java_field_bytes = function
   | Jtype.Prim (Jtype.Long | Jtype.Double) -> 8
   | Jtype.Ref _ | Jtype.Array _ -> Heapsim.Obj_model.reference_bytes
 
+(* ---------- string constants ----------
+
+   Every [rt.string_literal] payload in the program, deduplicated in
+   first-occurrence order. The interpreter pre-interns these at run setup so
+   the intern table is read-mostly at execution time; the baseline
+   interpreter uses the same collector so both VMs allocate the identical
+   record population. *)
+
+let string_constants (p : Program.t) =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rev = ref [] in
+  List.iter
+    (fun (c : Ir.cls) ->
+      List.iter
+        (fun (m : Ir.meth) ->
+          Ir.iter_instrs
+            (function
+              | Ir.Intrinsic (_, name, [ Ir.Imm (Ir.Cstr s) ])
+                when String.equal name Rt.string_literal ->
+                  if not (Hashtbl.mem seen s) then begin
+                    Hashtbl.add seen s ();
+                    rev := s :: !rev
+                  end
+              | _ -> ())
+            m)
+        c.Ir.cmethods)
+    (Program.classes p);
+  Array.of_list (List.rev !rev)
+
 (* ---------- the link ---------- *)
 
 let link ?(is_data = fun _ -> false) ?layout (p : Program.t) : R.program =
@@ -244,6 +273,7 @@ let link ?(is_data = fun _ -> false) ?layout (p : Program.t) : R.program =
       else if String.equal name Rt.current_thread then
         if n = 0 then bind R.I_current_thread else unknown ()
       else if String.equal name Rt.arraycopy then if n = 5 then bind R.I_arraycopy else unknown ()
+      else if String.equal name Rt.io_read then if n = 1 then bind R.I_io_read else unknown ()
       else if has_prefix name "rt.get_" then
         if n = 2 then acc_or "rt.get_" (fun a -> R.I_get a) else unknown ()
       else if has_prefix name "rt.set_" then
@@ -498,6 +528,7 @@ let link ?(is_data = fun _ -> false) ?layout (p : Program.t) : R.program =
     global_names = Array.map fst globals;
     globals_init = Array.map snd globals;
     entry = Option.value ~default:(-1) (resolve_static entry_cls entry_name);
+    string_consts = string_constants p;
     string_cid = Option.value ~default:(-1) (cid_opt Jtype.string_class);
     run_mid = Option.value ~default:(-1) (Hashtbl.find_opt mids.tbl "run");
     data_cid_of_tid;

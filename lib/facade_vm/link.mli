@@ -5,6 +5,10 @@
     [Rerror] instructions that raise only when executed, so linking
     accepts everything the name-based interpreter would have run. *)
 
+val string_constants : Jir.Program.t -> string array
+(** Every [rt.string_literal] payload in the program, deduplicated in
+    first-occurrence order — the set both VMs pre-intern at run setup. *)
+
 val object_program :
   ?is_data:(string -> bool) -> ?quicken:bool -> Jir.Program.t -> Resolved.program
 (** Link a program for object-mode execution. The [is_data] predicate is

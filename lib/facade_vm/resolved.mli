@@ -39,6 +39,7 @@ type intrinsic =
   | I_print
   | I_current_thread
   | I_arraycopy
+  | I_io_read
   | I_get of acc
   | I_set of acc
   | I_aget of acc
@@ -193,6 +194,9 @@ type program = {
   global_names : (string * string) array;  (** gid -> (class, field) *)
   globals_init : Value.t array;
   entry : int;  (** method index of the entry point, [-1] absent *)
+  string_consts : string array;
+      (** distinct [rt.string_literal] payloads, first-occurrence order;
+          pre-interned at run setup so the intern table is read-mostly *)
   string_cid : int;
   run_mid : int;  (** method-name id of ["run"], [-1] absent *)
   data_cid_of_tid : int array;

@@ -269,3 +269,108 @@ let iteration_depth t = List.length t.frames
 let force_major_gc t =
   minor_gc t;
   major_gc t
+
+(* Aliases for use inside [Shard], whose own field/function names would
+   otherwise shadow them. *)
+let heap_alloc_many = alloc_many
+let heap_native_alloc = native_alloc
+let heap_native_free = native_free
+
+module Shard = struct
+  (* One accumulation bucket per distinct (lifetime, bytes_each) pair.
+     First-seen order is preserved so a flush replays allocations in a
+     deterministic order regardless of hash-table iteration. *)
+  type bucket = {
+    b_lifetime : lifetime;
+    b_bytes : int;
+    mutable b_count : int;
+  }
+
+  type shard = {
+    tbl : (lifetime * int, bucket) Hashtbl.t;
+    mutable order : bucket list;  (* reverse first-seen order *)
+    mutable s_native : int;       (* net native delta; may be negative *)
+    mutable io_seconds : float;   (* simulated I/O wait to charge at flush *)
+  }
+
+  type t = shard
+
+  let create () =
+    { tbl = Hashtbl.create 16; order = []; s_native = 0; io_seconds = 0.0 }
+
+  let is_empty s =
+    Hashtbl.length s.tbl = 0 && s.s_native = 0 && s.io_seconds = 0.0
+
+  let pending s =
+    Hashtbl.fold
+      (fun _ b (objs, bytes) -> (objs + b.b_count, bytes + (b.b_count * b.b_bytes)))
+      s.tbl (0, 0)
+
+  let bucket s ~lifetime ~bytes =
+    match Hashtbl.find_opt s.tbl (lifetime, bytes) with
+    | Some b -> b
+    | None ->
+        let b = { b_lifetime = lifetime; b_bytes = bytes; b_count = 0 } in
+        Hashtbl.add s.tbl (lifetime, bytes) b;
+        s.order <- b :: s.order;
+        b
+
+  let alloc s ~lifetime ~bytes =
+    if bytes < 0 then invalid_arg "Heap.Shard.alloc: negative size";
+    let b = bucket s ~lifetime ~bytes in
+    b.b_count <- b.b_count + 1
+
+  let alloc_many s ~lifetime ~bytes_each ~count =
+    if bytes_each < 0 || count < 0 then
+      invalid_arg "Heap.Shard.alloc_many: negative argument";
+    let b = bucket s ~lifetime ~bytes:bytes_each in
+    b.b_count <- b.b_count + count
+
+  let native_alloc s ~bytes =
+    if bytes < 0 then invalid_arg "Heap.Shard.native_alloc: negative size";
+    s.s_native <- s.s_native + bytes
+
+  let native_free s ~bytes =
+    if bytes < 0 then invalid_arg "Heap.Shard.native_free: negative size";
+    s.s_native <- s.s_native - bytes
+
+  let charge_io s ~seconds =
+    if seconds > 0.0 then s.io_seconds <- s.io_seconds +. seconds
+
+  let clear s =
+    Hashtbl.reset s.tbl;
+    s.order <- [];
+    s.s_native <- 0;
+    s.io_seconds <- 0.0
+
+  (* Fold [src] into [dst] without touching any heap: used when a parent
+     absorbs a joined child's unflushed charges, mirroring
+     [Exec_stats.merge]. *)
+  let merge ~dst ~src =
+    List.iter
+      (fun b ->
+        if b.b_count > 0 then
+          let d = bucket dst ~lifetime:b.b_lifetime ~bytes:b.b_bytes in
+          d.b_count <- d.b_count + b.b_count)
+      (List.rev src.order);
+    dst.s_native <- dst.s_native + src.s_native;
+    dst.io_seconds <- dst.io_seconds +. src.io_seconds;
+    clear src
+
+  (* Replay the accumulated charges into [h]. Additive totals
+     (objects/bytes allocated, native bytes, live populations) come out
+     identical to per-object charging; GC trigger points may differ, which
+     is the documented "approximate under parallelism" contract. *)
+  let flush h s =
+    List.iter
+      (fun b ->
+        if b.b_count > 0 then
+          heap_alloc_many h ~lifetime:b.b_lifetime ~bytes_each:b.b_bytes
+            ~count:b.b_count)
+      (List.rev s.order);
+    if s.s_native > 0 then heap_native_alloc h ~bytes:s.s_native
+    else if s.s_native < 0 then heap_native_free h ~bytes:(-s.s_native);
+    if s.io_seconds > 0.0 then
+      Sim_clock.charge h.clk Sim_clock.Load s.io_seconds;
+    clear s
+end

@@ -75,3 +75,44 @@ val peak_memory_bytes : t -> int
 
 val force_major_gc : t -> unit
 (** Run a full collection now (used by tests and at shutdown). *)
+
+(** {2 Per-domain shards}
+
+    A [Shard.t] is a private, lock-free accumulator of heap charges owned by
+    one domain. Hot paths record allocations into their shard; the charges
+    reach the shared heap only when the owner flushes (at iteration
+    boundaries and thread joins), under whatever lock protects the heap.
+    Additive totals (objects/bytes allocated, native bytes, live
+    populations) are bit-exact against per-object charging; GC trigger
+    points — and hence pause counts — may differ, the same "approximate
+    under parallelism" contract the parallel VM already documents. *)
+module Shard : sig
+  type heap := t
+  type t
+
+  val create : unit -> t
+
+  val is_empty : t -> bool
+  (** No pending allocations, native delta, or I/O charge. *)
+
+  val pending : t -> int * int
+  (** [(objects, bytes)] accumulated since the last flush. *)
+
+  val alloc : t -> lifetime:lifetime -> bytes:int -> unit
+  val alloc_many : t -> lifetime:lifetime -> bytes_each:int -> count:int -> unit
+  val native_alloc : t -> bytes:int -> unit
+  val native_free : t -> bytes:int -> unit
+
+  val charge_io : t -> seconds:float -> unit
+  (** Accumulate simulated I/O time, charged to the heap's clock as [Load]
+      at the next flush. *)
+
+  val merge : dst:t -> src:t -> unit
+  (** Fold [src]'s pending charges into [dst] and clear [src]. Touches no
+      heap; used when a parent absorbs a joined child's shard. *)
+
+  val flush : heap -> t -> unit
+  (** Replay pending charges into the heap (allocations in first-recorded
+      order via {!alloc_many}, then the net native delta, then the I/O
+      charge) and clear the shard. Caller must hold the heap's lock. *)
+end

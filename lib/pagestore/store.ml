@@ -94,25 +94,23 @@ let base t addr =
   let p = page_of t addr in
   (p, Addr.offset addr)
 
-let alloc_record t ~thread ~type_id ~data_bytes =
+(* Allocation bodies shared by the global-counter and buffered ([local])
+   entry points: everything except publishing to [t.records]. *)
+let alloc_record_st t st ~type_id ~data_bytes =
   if type_id < 0 || type_id > Layout_rt.max_type_id then
     invalid_arg "Store.alloc_record: type id out of range";
-  let st = thread_state t thread in
   let bytes = Layout_rt.record_header_bytes + data_bytes in
   let addr = Page_manager.alloc (current_mgr st) ~bytes in
-  Atomic.incr t.records;
   st.t_records <- st.t_records + 1;
   st.t_bytes <- st.t_bytes + bytes;
   let p, off = base t addr in
   Page.write_u16 p (off + Layout_rt.type_id_offset) type_id;
   addr
 
-let alloc_array_with alloc t ~thread ~type_id ~elem_bytes ~length =
+let alloc_array_st alloc t st ~type_id ~elem_bytes ~length =
   if length < 0 then invalid_arg "Store.alloc_array: negative length";
-  let st = thread_state t thread in
   let bytes = Layout_rt.array_header_bytes + (elem_bytes * length) in
   let addr = alloc (current_mgr st) ~bytes in
-  Atomic.incr t.records;
   st.t_records <- st.t_records + 1;
   st.t_bytes <- st.t_bytes + bytes;
   let p, off = base t addr in
@@ -120,11 +118,22 @@ let alloc_array_with alloc t ~thread ~type_id ~elem_bytes ~length =
   Page.write_i32 p (off + Layout_rt.length_offset) length;
   addr
 
+let alloc_record t ~thread ~type_id ~data_bytes =
+  let st = thread_state t thread in
+  let addr = alloc_record_st t st ~type_id ~data_bytes in
+  Atomic.incr t.records;
+  addr
+
+let alloc_array_with alloc t ~thread ~type_id ~elem_bytes ~length =
+  let st = thread_state t thread in
+  let addr = alloc_array_st alloc t st ~type_id ~elem_bytes ~length in
+  Atomic.incr t.records;
+  addr
+
 let alloc_array = alloc_array_with Page_manager.alloc
 let alloc_array_oversize = alloc_array_with Page_manager.alloc_oversize
 
-let free_oversize_early t ~thread addr =
-  let st = thread_state t thread in
+let free_oversize_st st addr =
   (* The page may have been allocated by any manager on this thread's
      stack; try innermost-out. *)
   let rec try_mgrs = function
@@ -134,6 +143,56 @@ let free_oversize_early t ~thread addr =
         with Invalid_argument _ -> try_mgrs rest)
   in
   try_mgrs st.stack
+
+let free_oversize_early t ~thread addr = free_oversize_st (thread_state t thread) addr
+
+(* {2 Buffered per-domain handle} *)
+
+type local = {
+  l_store : t;
+  l_thread : thread;
+  l_state : thread_state;  (* resolved once, under the registry mutex *)
+  mutable l_pending : int; (* records not yet published to [records] *)
+}
+
+let local t ~thread =
+  { l_store = t; l_thread = thread; l_state = thread_state t thread; l_pending = 0 }
+
+let local_thread l = l.l_thread
+let local_pending l = l.l_pending
+
+let local_flush l =
+  if l.l_pending > 0 then begin
+    ignore (Atomic.fetch_and_add l.l_store.records l.l_pending);
+    l.l_pending <- 0
+  end
+
+let local_alloc_record l ~type_id ~data_bytes =
+  let addr = alloc_record_st l.l_store l.l_state ~type_id ~data_bytes in
+  l.l_pending <- l.l_pending + 1;
+  addr
+
+let local_alloc_array_with alloc l ~type_id ~elem_bytes ~length =
+  let addr = alloc_array_st alloc l.l_store l.l_state ~type_id ~elem_bytes ~length in
+  l.l_pending <- l.l_pending + 1;
+  addr
+
+let local_alloc_array = local_alloc_array_with Page_manager.alloc
+let local_alloc_array_oversize = local_alloc_array_with Page_manager.alloc_oversize
+
+let local_free_oversize_early l addr = free_oversize_st l.l_state addr
+
+let local_iteration_start l =
+  let st = l.l_state in
+  st.stack <- Page_manager.create_child (current_mgr st) :: st.stack
+
+let local_iteration_end l =
+  let st = l.l_state in
+  match st.stack with
+  | [] -> invalid_arg "Store.local_iteration_end: no iteration open"
+  | m :: rest ->
+      Page_manager.release_all m;
+      st.stack <- rest
 
 let type_id t addr =
   let p, off = base t addr in

@@ -104,3 +104,37 @@ val thread_totals : t -> thread:thread -> thread_totals option
 val live_page_objects : t -> int
 (** The number of page wrapper objects currently on the (simulated) managed
     heap: the [p] of the paper's O(t·n + p) bound. *)
+
+(** {2 Buffered per-domain handle}
+
+    A [local] pins one logical thread's state so the hot allocation path
+    touches no mutex and no shared atomic: the thread registry is consulted
+    once at creation, and the global record counter is updated only at
+    {!local_flush} (iteration boundaries and joins). Per-thread totals
+    ([thread_totals]) stay exact throughout because they were always
+    owner-thread-only; {!stats}[.records_allocated] lags by at most the
+    pending count until the owner flushes. The usual thread-affinity rule
+    applies: a [local] must only ever be driven by the one domain running
+    its logical thread. *)
+
+type local
+
+val local : t -> thread:thread -> local
+(** Pin [thread]'s state (the thread must already be registered). *)
+
+val local_thread : local -> thread
+val local_pending : local -> int
+(** Records allocated through this handle and not yet published. *)
+
+val local_flush : local -> unit
+(** Publish pending record counts to the shared counter. *)
+
+val local_alloc_record : local -> type_id:int -> data_bytes:int -> Addr.t
+val local_alloc_array : local -> type_id:int -> elem_bytes:int -> length:int -> Addr.t
+
+val local_alloc_array_oversize :
+  local -> type_id:int -> elem_bytes:int -> length:int -> Addr.t
+
+val local_free_oversize_early : local -> Addr.t -> unit
+val local_iteration_start : local -> unit
+val local_iteration_end : local -> unit

@@ -1613,8 +1613,7 @@ let pagerank = pagerank_sized ~n:32 ~iters:10
    worker-pool size — the property the parallel-vs-sequential
    differential suite pins. *)
 
-let pagerank_par =
-  let nv = 32 and degv = 4 and iters = 6 and nw = 4 in
+let pagerank_par_sized ~name ~nv ~degv ~iters ~nw ~io_units =
   let worker =
     let run =
       let m = B.create "run" in
@@ -1628,7 +1627,16 @@ let pagerank_par =
           ("edges", Jtype.Array int_t);
           ("zero_f", double_t); ("share", double_t); ("a", double_t);
         ];
+      if io_units > 0 then B.declare m "iou" int_t;
       let b0 = B.entry m in
+      (* One simulated device read per worker per superstep: the shard of
+         the edge file this worker scans. Charged as [Load] latency; under
+         a nonzero [io_scale] the reads overlap across domains. *)
+      if io_units > 0 then begin
+        B.const_i b0 "iou" io_units;
+        B.add b0
+          (Ir.Intrinsic (None, Facade_compiler.Rt_names.io_read, [ Ir.Var "iou" ]))
+      end;
       let b_zc = B.block m in  (* zero own accumulator *)
       let b_zb = B.block m in
       let b_sp = B.block m in
@@ -1837,12 +1845,158 @@ let pagerank_par =
     B.finish m
   in
   {
-    name = "pagerank-par";
+    name;
     program =
       Program.make ~entry:("Main", "main") [ worker; B.cls "Main" ~methods:[ main ] ];
     spec = spec [ "PrWorker"; "Main" ];
     expected = None;
   }
+
+let pagerank_par =
+  pagerank_par_sized ~name:"pagerank-par" ~nv:32 ~degv:4 ~iters:6 ~nw:4
+    ~io_units:0
+
+let pagerank_par_large =
+  pagerank_par_sized ~name:"pagerank-par-large" ~nv:256 ~degv:8 ~iters:6 ~nw:8
+    ~io_units:20_000
+
+(* ---------- scaled locking: the lock pool under domain parallelism ----- *)
+
+(* [nw] workers, each doing [rounds] rounds of: take the shared counter's
+   monitor, then (nested, so two pool entries are simultaneously in use)
+   the worker's own counter's monitor, and bump both. The own lock is only
+   ever taken while holding the shared one, so peak pool occupancy is
+   exactly 2 at any worker count; the shared counter is protected by its
+   monitor, so the final total is deterministic: [2 * nw * rounds]. With
+   [io_units > 0] each worker opens with one [sys.io_read io_units] — the
+   simulated fetch of its work quantum — so the workload scales with
+   domains under a nonzero [io_scale] even on a single-core host. *)
+let locking_sized ~name ~nw ~rounds ~io_units =
+  let counter =
+    B.cls "LkCell" ~fields:[ B.field "count" int_t ] ~methods:[ empty_init () ]
+  in
+  let worker =
+    let run =
+      let m = B.create "run" in
+      List.iter
+        (fun (v, t) -> B.declare m v t)
+        [
+          ("i", int_t); ("one", int_t); ("limit", int_t); ("cond", int_t);
+          ("c", int_t); ("c2", int_t);
+          ("sh", Jtype.Ref "LkCell"); ("own", Jtype.Ref "LkCell");
+        ];
+      if io_units > 0 then B.declare m "iou" int_t;
+      let b0 = B.entry m in
+      let b_cond = B.block m in
+      let b_body = B.block m in
+      let b_end = B.block m in
+      if io_units > 0 then begin
+        B.const_i b0 "iou" io_units;
+        B.add b0
+          (Ir.Intrinsic (None, Facade_compiler.Rt_names.io_read, [ Ir.Var "iou" ]))
+      end;
+      B.const_i b0 "i" 0;
+      B.const_i b0 "one" 1;
+      B.const_i b0 "limit" rounds;
+      B.fload b0 ~dst:"sh" ~obj:"this" ~field:"shared";
+      B.fload b0 ~dst:"own" ~obj:"this" ~field:"own";
+      B.jump b0 b_cond;
+      B.binop b_cond "cond" Ir.Lt "i" "limit";
+      B.branch b_cond "cond" ~then_:b_body ~else_:b_end;
+      B.monitor_enter b_body "sh";
+      B.fload b_body ~dst:"c" ~obj:"sh" ~field:"count";
+      B.binop b_body "c2" Ir.Add "c" "one";
+      B.fstore b_body ~obj:"sh" ~field:"count" ~src:"c2";
+      B.monitor_enter b_body "own";  (* nested: two locks in use *)
+      B.fload b_body ~dst:"c" ~obj:"own" ~field:"count";
+      B.binop b_body "c2" Ir.Add "c" "one";
+      B.fstore b_body ~obj:"own" ~field:"count" ~src:"c2";
+      B.monitor_exit b_body "own";
+      B.monitor_exit b_body "sh";
+      B.binop b_body "i" Ir.Add "i" "one";
+      B.jump b_body b_cond;
+      B.ret b_end None;
+      B.finish m
+    in
+    B.cls "LkWorker"
+      ~fields:
+        [ B.field "shared" (Jtype.Ref "LkCell"); B.field "own" (Jtype.Ref "LkCell") ]
+      ~methods:[ empty_init (); run ]
+  in
+  let main =
+    let m = B.create ~static:true "main" ~ret:int_t in
+    List.iter
+      (fun (v, t) -> B.declare m v t)
+      [
+        ("w", int_t); ("one", int_t); ("workers_n", int_t); ("cond", int_t);
+        ("total", int_t); ("v", int_t);
+        ("sh", Jtype.Ref "LkCell"); ("oc", Jtype.Ref "LkCell");
+        ("wk", Jtype.Ref "LkWorker");
+        ("workers", Jtype.Array (Jtype.Ref "LkWorker"));
+      ];
+    let b0 = B.entry m in
+    let b_wc = B.block m in   (* build workers *)
+    let b_wb = B.block m in
+    let b_run = B.block m in  (* spawn inside one iteration frame *)
+    let b_tc = B.block m in
+    let b_tb = B.block m in
+    let b_join = B.block m in
+    let b_gc = B.block m in   (* gather own counters *)
+    let b_gb = B.block m in
+    let b_end = B.block m in
+    B.const_i b0 "one" 1;
+    B.const_i b0 "workers_n" nw;
+    B.new_obj b0 "sh" "LkCell";
+    B.call b0 ~recv:"sh" ~kind:Ir.Special ~cls:"LkCell" ~name:ctor_name [];
+    B.new_array b0 "workers" (Jtype.Ref "LkWorker") ~len:"workers_n";
+    B.const_i b0 "w" 0;
+    B.jump b0 b_wc;
+    B.binop b_wc "cond" Ir.Lt "w" "workers_n";
+    B.branch b_wc "cond" ~then_:b_wb ~else_:b_run;
+    B.new_obj b_wb "wk" "LkWorker";
+    B.call b_wb ~recv:"wk" ~kind:Ir.Special ~cls:"LkWorker" ~name:ctor_name [];
+    B.new_obj b_wb "oc" "LkCell";
+    B.call b_wb ~recv:"oc" ~kind:Ir.Special ~cls:"LkCell" ~name:ctor_name [];
+    B.fstore b_wb ~obj:"wk" ~field:"shared" ~src:"sh";
+    B.fstore b_wb ~obj:"wk" ~field:"own" ~src:"oc";
+    B.astore b_wb ~arr:"workers" ~idx:"w" ~src:"wk";
+    B.binop b_wb "w" Ir.Add "w" "one";
+    B.jump b_wb b_wc;
+    B.iter_start b_run;
+    B.const_i b_run "w" 0;
+    B.jump b_run b_tc;
+    B.binop b_tc "cond" Ir.Lt "w" "workers_n";
+    B.branch b_tc "cond" ~then_:b_tb ~else_:b_join;
+    B.aload b_tb ~dst:"wk" ~arr:"workers" ~idx:"w";
+    B.add b_tb (Ir.Intrinsic (None, Facade_compiler.Rt_names.run_thread, [ Ir.Var "wk" ]));
+    B.binop b_tb "w" Ir.Add "w" "one";
+    B.jump b_tb b_tc;
+    B.iter_end b_join;
+    B.fload b_join ~dst:"total" ~obj:"sh" ~field:"count";
+    B.const_i b_join "w" 0;
+    B.jump b_join b_gc;
+    B.binop b_gc "cond" Ir.Lt "w" "workers_n";
+    B.branch b_gc "cond" ~then_:b_gb ~else_:b_end;
+    B.aload b_gb ~dst:"wk" ~arr:"workers" ~idx:"w";
+    B.fload b_gb ~dst:"oc" ~obj:"wk" ~field:"own";
+    B.fload b_gb ~dst:"v" ~obj:"oc" ~field:"count";
+    B.binop b_gb "total" Ir.Add "total" "v";
+    B.binop b_gb "w" Ir.Add "w" "one";
+    B.jump b_gb b_gc;
+    B.ret b_end (Some "total");
+    B.finish m
+  in
+  {
+    name;
+    program =
+      Program.make ~entry:("Main", "main")
+        [ counter; worker; B.cls "Main" ~methods:[ main ] ];
+    spec = spec [ "LkCell"; "LkWorker"; "Main" ];
+    expected = Some (Ir.Cint (2 * nw * rounds));
+  }
+
+let locking_large =
+  locking_sized ~name:"locking-large" ~nw:8 ~rounds:400 ~io_units:10_000
 
 let all =
   [
@@ -1863,6 +2017,8 @@ let all =
     deep_conversion;
     pagerank;
     pagerank_par;
+    pagerank_par_large;
+    locking_large;
   ]
 
 (* ---------- synthetic programs for transformation-speed benches ---------- *)

@@ -112,6 +112,35 @@ val pagerank_par : sample
     bit-identical at any worker-pool size — the parallel-vs-sequential
     differential suite's showcase workload. *)
 
+val pagerank_par_sized :
+  name:string ->
+  nv:int -> degv:int -> iters:int -> nw:int -> io_units:int -> sample
+(** {!pagerank_par} with chosen vertex count, out-degree, superstep count
+    and worker count. With [io_units > 0] each worker opens its superstep
+    with one [sys.io_read io_units] (microseconds) — the simulated scan of
+    its edge-file shard — so a nonzero VM [io_scale] turns the workload
+    I/O-bound and its supersteps overlap across domains. *)
+
+val pagerank_par_large : sample
+(** The scalability workload: 256 vertices, degree 8, 6 supersteps,
+    8 workers, 20ms of simulated read per worker per superstep. With
+    [io_scale 1.0] a sequential run sleeps ~960ms while an 8-domain run
+    overlaps the reads down to ~120ms — the benchmark's ≥4x curve. *)
+
+val locking_sized :
+  name:string -> nw:int -> rounds:int -> io_units:int -> sample
+(** [nw] spawned workers each run [rounds] rounds of: take the shared
+    counter's monitor, then (nested) their own counter's monitor, bump
+    both. Peak lock-pool occupancy is exactly 2 at any worker count and
+    the deterministic total is [2 * nw * rounds]. With [io_units > 0]
+    each worker opens with one [sys.io_read io_units] microseconds of
+    simulated device read. *)
+
+val locking_large : sample
+(** {!locking_sized} at 8 workers x 400 rounds with a 10ms simulated read
+    per worker — the lock pool under contention from every pool domain
+    (6400 enter/exit pairs), still I/O-overlappable for the bench. *)
+
 val all : sample list
 (** Every sample above — the equivalence test sweep. *)
 

@@ -322,6 +322,40 @@ let certificate_case (s : Samples.sample) =
         (Facade_vm.Cert_check.pool_peaks o_seq.I.stats)
         (Facade_vm.Cert_check.pool_peaks o_par.I.stats))
 
+(* The O(t*n + p) certificate must keep validating when every logical
+   thread runs on its own domain and accounting flows through the
+   per-domain shards: run the two 8-worker samples with a full 8-domain
+   pool and check the certificate plus bit-exact pool peaks against the
+   sequential run. *)
+let test_certificate_8_domains () =
+  List.iter
+    (fun ((s : Samples.sample), pinned_locks) ->
+      let pl = compile s in
+      let cert = A.Certify.of_pipeline pl in
+      Alcotest.(check (list string))
+        (s.Samples.name ^ ": static cross-check") []
+        (A.Certify.static_errors pl cert);
+      let o_seq = I.run_facade pl in
+      let o8 = I.run_facade ~workers:8 pl in
+      (match Facade_vm.Cert_check.validate pl o8 with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "%s at 8 domains: %s" s.Samples.name
+            (String.concat "; " es));
+      Alcotest.(check (list (pair int int)))
+        (s.Samples.name ^ ": pool peaks bit-exact, seq vs 8 domains")
+        (Facade_vm.Cert_check.pool_peaks o_seq.I.stats)
+        (Facade_vm.Cert_check.pool_peaks o8.I.stats);
+      Alcotest.(check int)
+        (s.Samples.name ^ ": locks_peak bit-exact, seq vs 8 domains")
+        o_seq.I.locks_peak o8.I.locks_peak;
+      match pinned_locks with
+      | Some n ->
+          Alcotest.(check int)
+            (s.Samples.name ^ ": locks_peak pinned") n o8.I.locks_peak
+      | None -> ())
+    [ (Samples.pagerank_par_large, None); (Samples.locking_large, Some 2) ]
+
 let test_certificate_json () =
   let pl = compile Samples.threads in
   let cert = A.Certify.of_pipeline pl in
@@ -421,6 +455,8 @@ let () =
             test_escape_iteration_local;
         ] );
       ("certificate", Alcotest.test_case "json shape" `Quick test_certificate_json
+                      :: Alcotest.test_case "8-domain pool, sharded accounting"
+                           `Quick test_certificate_8_domains
                       :: List.map certificate_case Samples.all);
       ( "lock-elision",
         Alcotest.test_case "spawn-free strips all" `Quick

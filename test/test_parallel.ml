@@ -202,34 +202,173 @@ let test_multicore_stress () =
     (records + (domains * allocs))
     (Store.stats store).Store.records_allocated
 
+(* ---------- satellite: heap shard merge / flush-order invariance ---------- *)
+
+module Heap = Heapsim.Heap
+module Shard = Heapsim.Heap.Shard
+
+let big_heap () =
+  (* Large enough that none of the shard tests ever triggers a GC, so
+     live populations are pure bookkeeping and flush order provably
+     cannot matter. *)
+  Heap.create (Heapsim.Hconfig.make ~heap_bytes:(1 lsl 26) ())
+
+(* A tiny op language over the shard API. I/O quanta are dyadic
+   (n/1024 s) so float accumulation is exact in any association. *)
+type sop =
+  | Oalloc of Heap.lifetime * int
+  | Oalloc_many of Heap.lifetime * int * int
+  | Onative of int
+  | Oio of int
+
+let lifetimes = [| Heap.Temp; Heap.Iteration; Heap.Control; Heap.Permanent |]
+
+let op_of_ints (tag, a, b) =
+  let lt = lifetimes.(abs a mod 4) in
+  match abs tag mod 4 with
+  | 0 -> Oalloc (lt, 8 + (abs b mod 256))
+  | 1 -> Oalloc_many (lt, 8 + (abs b mod 64), 1 + (abs a mod 8))
+  | 2 -> Onative (8 * (1 + (abs b mod 32)))
+  | _ -> Oio (abs b mod 64)
+
+let apply_direct h = function
+  | Oalloc (lt, bytes) -> Heap.alloc h ~lifetime:lt ~bytes
+  | Oalloc_many (lt, bytes_each, count) ->
+      Heap.alloc_many h ~lifetime:lt ~bytes_each ~count
+  | Onative bytes -> Heap.native_alloc h ~bytes
+  | Oio n ->
+      Heapsim.Sim_clock.charge (Heap.clock h) Heapsim.Sim_clock.Load
+        (float_of_int n /. 1024.)
+
+let apply_shard s = function
+  | Oalloc (lt, bytes) -> Shard.alloc s ~lifetime:lt ~bytes
+  | Oalloc_many (lt, bytes_each, count) ->
+      Shard.alloc_many s ~lifetime:lt ~bytes_each ~count
+  | Onative bytes -> Shard.native_alloc s ~bytes
+  | Oio n -> Shard.charge_io s ~seconds:(float_of_int n /. 1024.)
+
+let heap_totals h =
+  let gs = Heap.stats h in
+  ( ( gs.Heapsim.Gc_stats.objects_allocated,
+      gs.Heapsim.Gc_stats.bytes_allocated,
+      Heap.native_bytes h ),
+    ( Heap.live_objects h,
+      Heap.live_bytes h,
+      Heapsim.Sim_clock.get (Heap.clock h) Heapsim.Sim_clock.Load ) )
+
+let totals_testable =
+  Alcotest.(pair (triple int int int) (triple int int (float 0.0)))
+
+(* Split an op sequence across k shards and flush the shards in an
+   arbitrary interleaved order: every final heap total must equal the
+   direct sequential application. This is exactly the freedom the
+   parallel interpreter exploits — children fill shards in any real-time
+   order, and joins merge/flush them at happens-before edges. *)
+let prop_shard_flush_order =
+  QCheck.Test.make ~name:"interleaved shard flush order is invisible" ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 60) (triple int int int))
+        (int_range 1 6) int)
+    (fun (raw, k, seed) ->
+      let ops = List.map op_of_ints raw in
+      let direct = big_heap () in
+      List.iter (apply_direct direct) ops;
+      let sharded = big_heap () in
+      let shards = Array.init k (fun _ -> Shard.create ()) in
+      List.iteri (fun i op -> apply_shard shards.(i mod k) op) ops;
+      (* Deterministic shuffle of the flush order from the seed. *)
+      let order = Array.init k (fun i -> i) in
+      let st = ref (abs seed + 1) in
+      for i = k - 1 downto 1 do
+        st := (!st * 1103515245) + 12345;
+        let j = abs !st mod (i + 1) in
+        let t = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- t
+      done;
+      Array.iter (fun i -> Shard.flush sharded shards.(i)) order;
+      Array.for_all Shard.is_empty shards
+      && heap_totals direct = heap_totals sharded)
+
+let test_shard_merge_of_split () =
+  let ops_a =
+    [
+      Oalloc (Heap.Permanent, 48); Oalloc_many (Heap.Iteration, 16, 5);
+      Onative 4096; Oio 8; Oalloc (Heap.Temp, 24);
+    ]
+  and ops_b =
+    [
+      Oalloc (Heap.Iteration, 16); Onative 512; Oio 3;
+      Oalloc_many (Heap.Control, 32, 2);
+    ]
+  in
+  let direct = big_heap () in
+  List.iter (apply_direct direct) (ops_a @ ops_b);
+  let merged = big_heap () in
+  let sa = Shard.create () and sb = Shard.create () in
+  List.iter (apply_shard sa) ops_a;
+  List.iter (apply_shard sb) ops_b;
+  let objs, bytes = Shard.pending sa in
+  Alcotest.(check bool) "pending counts charged work" true (objs = 7 && bytes > 0);
+  Shard.merge ~dst:sa ~src:sb;
+  Alcotest.(check bool) "merge clears the source" true (Shard.is_empty sb);
+  Shard.flush merged sa;
+  Alcotest.(check bool) "flush clears the shard" true (Shard.is_empty sa);
+  Alcotest.check totals_testable "merge-of-split equals direct application"
+    (heap_totals direct) (heap_totals merged);
+  (* native_free folds into the same delta *)
+  Shard.native_alloc sa ~bytes:64;
+  Shard.native_free sa ~bytes:24;
+  Shard.flush merged sa;
+  Alcotest.(check int) "net native delta" (Heap.native_bytes direct + 40)
+    (Heap.native_bytes merged)
+
 (* ---------- satellite: parallel-vs-sequential differential ---------- *)
 
-let outcome_fingerprint (o : Facade_vm.Interp.outcome) =
-  let result =
-    match o.Facade_vm.Interp.result with
-    | Some v -> Facade_vm.Value.to_string v
-    | None -> "-"
-  in
+(* One line per observable. Everything here must be bit-exact between the
+   sequential path and any pool size: results and printed output, facade
+   and lock-pool populations, page-store totals, and the final heap-level
+   totals accumulated through the per-domain shards. GC pause *counts*
+   are deliberately absent — batching moves trigger points, and the
+   contract only makes the totals exact. *)
+let run_fingerprint ?workers pl =
+  let heap = big_heap () in
+  let o = Facade_vm.Interp.run_facade ~heap ?workers pl in
+  let gs = Heap.stats heap in
   let records, live =
     match o.Facade_vm.Interp.store_stats with
     | Some st -> (st.Store.records_allocated, st.Store.live_pages)
     | None -> (0, 0)
   in
-  ( result,
-    Stats.output_lines o.Facade_vm.Interp.stats,
-    ( o.Facade_vm.Interp.facades_allocated,
-      o.Facade_vm.Interp.stats.Stats.page_records,
-      o.Facade_vm.Interp.stats.Stats.steps,
-      records,
-      live ) )
-
-let outcome_testable =
-  Alcotest.(
-    triple string (list string)
-      (pair (pair int int) (triple int int int)))
-
-let pack (result, output, (facades, page_records, steps, records, live)) =
-  (result, output, ((facades, page_records), (steps, records, live)))
+  let result =
+    match o.Facade_vm.Interp.result with
+    | Some v -> Facade_vm.Value.to_string v
+    | None -> "-"
+  in
+  let pool_peaks =
+    Hashtbl.fold
+      (fun tid idx acc -> (tid, idx) :: acc)
+      o.Facade_vm.Interp.stats.Stats.max_pool_index []
+    |> List.sort compare
+    |> List.map (fun (t, i) -> Printf.sprintf "%d:%d" t i)
+    |> String.concat ","
+  in
+  [
+    "result=" ^ result;
+    Printf.sprintf "facades=%d locks_peak=%d" o.Facade_vm.Interp.facades_allocated
+      o.Facade_vm.Interp.locks_peak;
+    Printf.sprintf "page_records=%d steps=%d"
+      o.Facade_vm.Interp.stats.Stats.page_records
+      o.Facade_vm.Interp.stats.Stats.steps;
+    Printf.sprintf "store_records=%d live_pages=%d" records live;
+    Printf.sprintf "heap_objects=%d heap_bytes=%d"
+      gs.Heapsim.Gc_stats.objects_allocated gs.Heapsim.Gc_stats.bytes_allocated;
+    Printf.sprintf "native=%d live_objects=%d live_bytes=%d"
+      (Heap.native_bytes heap) (Heap.live_objects heap) (Heap.live_bytes heap);
+    "pool_peaks=" ^ pool_peaks;
+  ]
+  @ Stats.output_lines o.Facade_vm.Interp.stats
 
 let test_parallel_differential () =
   List.iter
@@ -237,15 +376,14 @@ let test_parallel_differential () =
       let pl =
         Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program
       in
-      let seq = outcome_fingerprint (Facade_vm.Interp.run_facade pl) in
-      let w1 = outcome_fingerprint (Facade_vm.Interp.run_facade ~workers:1 pl) in
-      let w4 = outcome_fingerprint (Facade_vm.Interp.run_facade ~workers:4 pl) in
-      Alcotest.check outcome_testable
-        (s.Samples.name ^ ": workers=1 matches sequential")
-        (pack seq) (pack w1);
-      Alcotest.check outcome_testable
-        (s.Samples.name ^ ": workers=4 matches sequential")
-        (pack seq) (pack w4))
+      let seq = run_fingerprint pl in
+      List.iter
+        (fun w ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s: workers=%d matches sequential" s.Samples.name w)
+            seq
+            (run_fingerprint ~workers:w pl))
+        [ 1; 2; 4; 8 ])
     Samples.all
 
 let () =
@@ -265,6 +403,12 @@ let () =
         ] );
       ( "exec-stats",
         [ Alcotest.test_case "merge of split equals whole" `Quick test_stats_merge_of_split ] );
+      ( "heap-shard",
+        [
+          Alcotest.test_case "merge of split equals direct" `Quick
+            test_shard_merge_of_split;
+          QCheck_alcotest.to_alcotest prop_shard_flush_order;
+        ] );
       ( "stress",
         [ Alcotest.test_case "multicore lock pool + store" `Quick test_multicore_stress ] );
       ( "differential",
