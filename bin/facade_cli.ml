@@ -25,6 +25,42 @@ let no_opt =
           "Disable the JIR optimizer pipeline and the post-link quickening \
            tier; execute the facade transform's output verbatim.")
 
+let tier2_flag =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "tier2" ]
+              ~doc:
+                "Force the tier-2 closure compiler on (it is on by default \
+                 whenever the optimizer runs)." );
+          ( Some false,
+            info [ "no-tier2" ]
+              ~doc:"Keep execution on the quickened interpreter (tier 1) only."
+          );
+        ])
+
+(* Tier-2 defaults to following the optimizer: --no-opt implies tier 1
+   unless --tier2 is given explicitly. *)
+let tier2_on tier2 no_opt = match tier2 with Some b -> b | None -> not no_opt
+
+let tier_feedback (rep : Opt.Driver.report option) =
+  Option.map
+    (fun (r : Opt.Driver.report) ->
+      {
+        Facade_vm.Compile_tier.fb_mono = r.Opt.Driver.tier_mono;
+        fb_leaves = r.Opt.Driver.tier_leaves;
+      })
+    rep
+
+let print_tier_line ~tier2 (o : Facade_vm.Interp.outcome) =
+  if tier2 then
+    Printf.printf "tier2: %d compiled, %d entries, %d deopts\n"
+      o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.tier2_compiles
+      o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.tier2_entries
+      o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.tier2_deopts
+
 let workers_arg =
   Arg.(
     value
@@ -165,7 +201,7 @@ let demo_cmd =
 (* ---------- run (facade mode, optional domain pool) ---------- *)
 
 let run_cmd =
-  let run name workers no_opt trace heap_mb =
+  let run name workers no_opt tier2 trace heap_mb =
     match find_sample name with
     | None -> `Error (true, "unknown sample " ^ name)
     | Some s -> (
@@ -175,13 +211,20 @@ let run_cmd =
             let pl0 =
               Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program
             in
-            let pl =
-              if no_opt then pl0 else fst (Opt.Driver.optimize_pipeline pl0)
+            let pl, rep =
+              if no_opt then (pl0, None)
+              else
+                let pl', r = Opt.Driver.optimize_pipeline pl0 in
+                (pl', Some r)
             in
+            let tier2 = tier2_on tier2 no_opt in
             let heap = heap_of_mb heap_mb in
             let exec () =
               let t0 = Unix.gettimeofday () in
-              let o = Facade_vm.Interp.run_facade ?heap ?workers ~quicken:(not no_opt) pl in
+              let o =
+                Facade_vm.Interp.run_facade ?heap ?workers ~quicken:(not no_opt)
+                  ~tier2 ?tier2_feedback:(tier_feedback rep) pl
+              in
               (o, Unix.gettimeofday () -. t0)
             in
             let tracer, (o, wall) =
@@ -211,6 +254,7 @@ let run_cmd =
                   st.Pagestore.Store.records_allocated
                   st.Pagestore.Store.pages_created st.Pagestore.Store.live_pages
             | None -> ());
+            print_tier_line ~tier2 o;
             print_gc_lines heap tracer;
             (match (tracer, trace) with
             | Some tr, Some path ->
@@ -248,10 +292,57 @@ let run_cmd =
          "Transform a sample, optimize it, and execute P' in facade mode \
           (quickened), optionally running its threads in parallel on real \
           OCaml domains. With $(b,--trace), record VM, GC, page-store and \
-          scheduler events to a Chrome trace file.")
-    Term.(ret (const run $ sample_arg $ workers_arg $ no_opt $ trace_arg $ heap_mb_arg))
+          scheduler events to a Chrome trace file. Hot methods are compiled \
+          by the tier-2 closure compiler unless $(b,--no-tier2) (or \
+          $(b,--no-opt)) is given.")
+    Term.(
+      ret
+        (const run $ sample_arg $ workers_arg $ no_opt $ tier2_flag $ trace_arg
+       $ heap_mb_arg))
 
 (* ---------- profile ---------- *)
+
+(* The tier-selection input, printed standalone: per-method call counts
+   and inline-cache hit rates from the Exec_stats per-method counters,
+   paired with each method's static IC site count. *)
+let method_profile ~top rp (stats : Facade_vm.Exec_stats.t) =
+  let module R = Facade_vm.Resolved in
+  let rows =
+    Array.to_list (Array.mapi (fun midx (m : R.meth) -> (midx, m)) rp.R.methods)
+    |> List.filter_map (fun (midx, (m : R.meth)) ->
+           let calls = Facade_vm.Exec_stats.method_calls stats midx in
+           if calls = 0 then None else Some (midx, m, calls))
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  let tbl =
+    Metrics.Table.create
+      ~headers:[ "method"; "calls"; "ic sites"; "ic hits"; "ic misses"; "hit %" ]
+  in
+  List.iter
+    (fun (midx, (m : R.meth), calls) ->
+      let hits = stats.Facade_vm.Exec_stats.m_ic_hits.(midx) in
+      let misses = stats.Facade_vm.Exec_stats.m_ic_misses.(midx) in
+      let rate =
+        if hits + misses = 0 then "-"
+        else Printf.sprintf "%.1f" (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+      in
+      Metrics.Table.add_row tbl
+        [
+          m.R.m_cls ^ "." ^ m.R.m_name;
+          Metrics.Table.cell_int calls;
+          Metrics.Table.cell_int (Facade_vm.Quicken.ic_sites m);
+          Metrics.Table.cell_int hits;
+          Metrics.Table.cell_int misses;
+          rate;
+        ])
+    (take top rows);
+  Printf.printf "== method profile (top %d of %d called) ==\n%s\n" top
+    (List.length rows) (Metrics.Table.render tbl)
 
 let profile_cmd =
   let top =
@@ -259,7 +350,7 @@ let profile_cmd =
       value & opt int 15
       & info [ "top" ] ~docv:"N" ~doc:"Rows in the top-spans-by-self-time table.")
   in
-  let run name workers no_opt heap_mb top trace =
+  let run name workers no_opt tier2 heap_mb top trace =
     match find_sample name with
     | None -> `Error (true, "unknown sample " ^ name)
     | Some s -> (
@@ -269,19 +360,34 @@ let profile_cmd =
             let pl =
               Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program
             in
-            let pl = if no_opt then pl else fst (Opt.Driver.optimize_pipeline pl) in
+            let pl, rep =
+              if no_opt then (pl, None)
+              else
+                let pl', r = Opt.Driver.optimize_pipeline pl in
+                (pl', Some r)
+            in
+            let tier2 = tier2_on tier2 no_opt in
             let heap = heap_of_mb heap_mb in
             let tr = Obs.Tracer.create () in
             Obs.Tracer.install tr;
             let o =
               Fun.protect ~finally:Obs.Tracer.uninstall (fun () ->
-                  Facade_vm.Interp.run_facade ?heap ?workers ~quicken:(not no_opt) pl)
+                  Facade_vm.Interp.run_facade ?heap ?workers ~quicken:(not no_opt)
+                    ~tier2 ?tier2_feedback:(tier_feedback rep) pl)
             in
-            Printf.printf "%s: result=%s  steps=%d\n\n" name
+            Printf.printf "%s: result=%s  steps=%d\n" name
               (match o.Facade_vm.Interp.result with
               | Some x -> Facade_vm.Value.to_string x
               | None -> "-")
               o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.steps;
+            print_tier_line ~tier2 o;
+            print_newline ();
+            (* The quickened link is cached per pipeline, so this is the
+               same resolved program the run above executed — method
+               indices line up with the per-method stat arrays. *)
+            method_profile ~top
+              (Facade_vm.Link.facade_program ~quicken:(not no_opt) pl)
+              o.Facade_vm.Interp.stats;
             print_string (Obs.Export.profile_report ~top tr);
             print_gc_lines heap (Some tr);
             (match trace with
@@ -294,11 +400,15 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:
-         "Run a sample under the tracer and print a plain-text profile: top \
-          spans by self time, GC pause table, scheduler and page-store event \
-          counts. $(b,--trace) additionally exports the Chrome trace.")
+         "Run a sample under the tracer and print a plain-text profile: \
+          per-method call counts and IC hit rates (the tier-2 selection \
+          input), top spans by self time, GC pause table, scheduler and \
+          page-store event counts. $(b,--trace) additionally exports the \
+          Chrome trace.")
     Term.(
-      ret (const run $ sample_arg $ workers_arg $ no_opt $ heap_mb_arg $ top $ trace_arg))
+      ret
+        (const run $ sample_arg $ workers_arg $ no_opt $ tier2_flag $ heap_mb_arg $ top
+       $ trace_arg))
 
 (* ---------- validate-trace ---------- *)
 
@@ -569,7 +679,20 @@ let opt_report_cmd =
              accessors, %d fused pairs, %d immediate ops\n"
             c.Facade_vm.Quicken.ic_virtual_sites c.Facade_vm.Quicken.ic_field_sites
             c.Facade_vm.Quicken.specialized_accessors c.Facade_vm.Quicken.fused_pairs
-            c.Facade_vm.Quicken.imm_ops
+            c.Facade_vm.Quicken.imm_ops;
+          Printf.printf
+            "tier2 feedback: %d monomorphic method names, %d leaf-inline \
+             candidates\n"
+            (List.length rep.Opt.Driver.tier_mono)
+            (List.length rep.Opt.Driver.tier_leaves);
+          (match rep.Opt.Driver.tier_mono with
+          | [] -> ()
+          | ms -> Printf.printf "  monomorphic: %s\n" (String.concat ", " ms));
+          (match rep.Opt.Driver.tier_leaves with
+          | [] -> ()
+          | ls ->
+              Printf.printf "  leaves: %s\n"
+                (String.concat ", " (List.map (fun (c, m) -> c ^ "." ^ m) ls)))
         end;
         print_newline ();
         `Ok ()

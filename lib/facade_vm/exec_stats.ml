@@ -34,6 +34,17 @@ type t = {
   mutable ic_hits : int;
   mutable ic_misses : int;
   mix : int array;
+  (* Per-method profile counters, indexed by resolved method index. Sized
+     by [ensure_methods] at VM setup (zero-length outside the resolved
+     interpreter); the tier-2 compiler reads them as its hotness input and
+     [facade_cli profile] reports them. *)
+  mutable m_calls : int array;
+  mutable m_ic_hits : int array;
+  mutable m_ic_misses : int array;
+  (* Tier transition counters (tier-2 closure compiler). *)
+  mutable tier2_compiles : int;
+  mutable tier2_entries : int;
+  mutable tier2_deopts : int;
 }
 
 let create () =
@@ -51,7 +62,35 @@ let create () =
     ic_hits = 0;
     ic_misses = 0;
     mix = Array.make (Array.length mix_labels) 0;
+    m_calls = [||];
+    m_ic_hits = [||];
+    m_ic_misses = [||];
+    tier2_compiles = 0;
+    tier2_entries = 0;
+    tier2_deopts = 0;
   }
+
+let grow a n = if Array.length a >= n then a else Array.append a (Array.make (n - Array.length a) 0)
+
+let ensure_methods t n =
+  if Array.length t.m_calls < n then begin
+    t.m_calls <- grow t.m_calls n;
+    t.m_ic_hits <- grow t.m_ic_hits n;
+    t.m_ic_misses <- grow t.m_ic_misses n
+  end
+
+let note_mcall t mx =
+  if mx < Array.length t.m_calls then t.m_calls.(mx) <- t.m_calls.(mx) + 1
+
+let note_ic_hit t mx =
+  t.ic_hits <- t.ic_hits + 1;
+  if mx < Array.length t.m_ic_hits then t.m_ic_hits.(mx) <- t.m_ic_hits.(mx) + 1
+
+let note_ic_miss t mx =
+  t.ic_misses <- t.ic_misses + 1;
+  if mx < Array.length t.m_ic_misses then t.m_ic_misses.(mx) <- t.m_ic_misses.(mx) + 1
+
+let method_calls t mx = if mx < Array.length t.m_calls then t.m_calls.(mx) else 0
 
 let note_alloc t ~cls ~is_data =
   t.heap_objects <- t.heap_objects + 1;
@@ -78,7 +117,13 @@ let zero t =
   t.intrinsic_dispatches <- 0;
   t.ic_hits <- 0;
   t.ic_misses <- 0;
-  Array.fill t.mix 0 (Array.length t.mix) 0
+  Array.fill t.mix 0 (Array.length t.mix) 0;
+  Array.fill t.m_calls 0 (Array.length t.m_calls) 0;
+  Array.fill t.m_ic_hits 0 (Array.length t.m_ic_hits) 0;
+  Array.fill t.m_ic_misses 0 (Array.length t.m_ic_misses) 0;
+  t.tier2_compiles <- 0;
+  t.tier2_entries <- 0;
+  t.tier2_deopts <- 0
 
 let copy t =
   {
@@ -86,6 +131,9 @@ let copy t =
     by_class = Hashtbl.copy t.by_class;
     max_pool_index = Hashtbl.copy t.max_pool_index;
     mix = Array.copy t.mix;
+    m_calls = Array.copy t.m_calls;
+    m_ic_hits = Array.copy t.m_ic_hits;
+    m_ic_misses = Array.copy t.m_ic_misses;
   }
 
 (* Fold [src] into [dst]. Additive counters sum; pool indices take the
@@ -114,7 +162,14 @@ let merge dst src =
   dst.intrinsic_dispatches <- dst.intrinsic_dispatches + src.intrinsic_dispatches;
   dst.ic_hits <- dst.ic_hits + src.ic_hits;
   dst.ic_misses <- dst.ic_misses + src.ic_misses;
-  Array.iteri (fun i n -> dst.mix.(i) <- dst.mix.(i) + n) src.mix
+  Array.iteri (fun i n -> dst.mix.(i) <- dst.mix.(i) + n) src.mix;
+  ensure_methods dst (Array.length src.m_calls);
+  Array.iteri (fun i n -> dst.m_calls.(i) <- dst.m_calls.(i) + n) src.m_calls;
+  Array.iteri (fun i n -> dst.m_ic_hits.(i) <- dst.m_ic_hits.(i) + n) src.m_ic_hits;
+  Array.iteri (fun i n -> dst.m_ic_misses.(i) <- dst.m_ic_misses.(i) + n) src.m_ic_misses;
+  dst.tier2_compiles <- dst.tier2_compiles + src.tier2_compiles;
+  dst.tier2_entries <- dst.tier2_entries + src.tier2_entries;
+  dst.tier2_deopts <- dst.tier2_deopts + src.tier2_deopts
 
 let output_lines t = List.rev t.output
 

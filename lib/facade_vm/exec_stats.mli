@@ -37,6 +37,12 @@ type t = {
   mutable ic_hits : int;             (** quickened inline-cache hits *)
   mutable ic_misses : int;           (** quickened inline-cache misses/refills *)
   mix : int array;                   (** per-category instruction counts *)
+  mutable m_calls : int array;       (** per-method call counts (by method index) *)
+  mutable m_ic_hits : int array;     (** per-method IC hits *)
+  mutable m_ic_misses : int array;   (** per-method IC misses *)
+  mutable tier2_compiles : int;      (** methods compiled to tier-2 closures *)
+  mutable tier2_entries : int;       (** calls entering tier-2 code *)
+  mutable tier2_deopts : int;        (** guard failures falling back to tier-1 *)
 }
 
 val create : unit -> t
@@ -52,6 +58,25 @@ val merge : t -> t -> unit
     per-class counts sum, pool indices take the max, and [src]'s output
     lines are appended after [dst]'s. Merging per-worker shards in join
     order reproduces the sequential totals. *)
+
+val ensure_methods : t -> int -> unit
+(** Grow the per-method counter arrays to cover [n] method indices.
+    Called once at VM setup (and when merging shards of differing
+    sizes); the note functions below are bounds-checked no-ops outside
+    the sized range. *)
+
+val note_mcall : t -> int -> unit
+(** Count one invocation of the method at the given resolved index. *)
+
+val note_ic_hit : t -> int -> unit
+(** Count an inline-cache hit, attributed to the enclosing method. *)
+
+val note_ic_miss : t -> int -> unit
+(** Count an inline-cache miss/refill, attributed to the enclosing
+    method. *)
+
+val method_calls : t -> int -> int
+(** Calls recorded for a method index ([0] outside the sized range). *)
 
 val note_alloc : t -> cls:string -> is_data:bool -> unit
 val note_record : t -> unit

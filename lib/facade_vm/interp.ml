@@ -12,9 +12,9 @@ module Store = Pagestore.Store
 module Layout = Facade_compiler.Layout
 module Heap = Heapsim.Heap
 
-exception Vm_error of string
+open Vm_state
 
-let vm_err fmt = Printf.ksprintf (fun s -> raise (Vm_error s)) fmt
+exception Vm_error = Vm_state.Vm_error
 
 type outcome = {
   result : Value.t option;
@@ -23,360 +23,6 @@ type outcome = {
   facades_allocated : int;
   locks_peak : int;
 }
-
-type facade_rt = {
-  store : Store.t;
-  pools : (int, FP.t) Hashtbl.t;  (* per-thread facade pools (3.4, Fig. 3) *)
-  bounds : int array;
-  locks : Pagestore.Lock_pool.t;
-  layout : Layout.t;
-  strings_frozen : (int, string) Hashtbl.t;  (* pre-interned at setup from
-                                                the program's string constants;
-                                                read-only afterwards, so safe
-                                                to consult without a lock *)
-  intern_frozen : (string, int) Hashtbl.t;
-  strings : (int, string) Hashtbl.t;       (* dynamic: addr -> contents *)
-  string_intern : (string, int) Hashtbl.t;
-  mutable last_native : int;
-  mutable last_pages : int;
-}
-
-type mode = Object_mode | Facade_mode of facade_rt
-
-(* Shared state of a parallel run (tentpole of the multicore layer): the
-   domain pool plus the mutexes guarding the structures that logical
-   threads share. Page managers and facade pools stay thread-local; the
-   store and lock pool are domain-safe internally; everything else that
-   both parent and children touch is serialized here. Lock order (outer
-   first): pools_mu / str_mu / mon_mu → heap_mu. *)
-type par_shared = {
-  pool : Parallel.Pool.t;
-  pools_mu : Mutex.t;  (* facade_rt.pools *)
-  str_mu : Mutex.t;    (* facade_rt.strings / string_intern *)
-  mon_mu : Mutex.t;    (* st.monitors (object monitors on control objects) *)
-  heap_mu : Mutex.t;   (* the heapsim Heap and last_native/last_pages *)
-}
-
-type child = {
-  c_stats : Exec_stats.t;
-  c_shard : Heapsim.Heap.Shard.t;
-      (* the child's unflushed heap charges, merged into the parent's
-         shard at join (spawn order) *)
-  c_anchor : string list;
-      (* the parent's (reversed) output at spawn time — a physical suffix
-         of its output at join time, where the child's lines splice in *)
-}
-
-(* Per-logical-thread join state: one group per spawner, children listed
-   most-recent-first. *)
-type join_st = { group : Parallel.Sched.group; mutable children : child list }
-
-(* Everything one logical thread accumulates privately while running on a
-   domain: its facade pools (created lazily, as in sequential mode), a
-   pinned page-store handle, and a heap shard. Nothing here is shared, so
-   the allocation hot path touches no mutex; the shard drains into the
-   global heap only at iteration boundaries and joins ([flush_ctx]), and a
-   child's shard is merged into its parent's at [join_children], in spawn
-   order, exactly like the [Exec_stats] shards. *)
-type domain_ctx = {
-  mutable dc_pools : FP.t option;
-  dc_local : Store.local;
-  dc_shard : Heap.Shard.t;
-}
-
-type st = {
-  rp : R.program;
-  mode : mode;
-  heap : Heap.t option;
-  stats : Exec_stats.t;
-  globals : Value.t array;
-  monitors : (int, int) Hashtbl.t;        (* object-mode oid -> entries *)
-  oid : int Atomic.t;           (* shared with children in parallel mode *)
-  max_steps : int;
-  io_scale : float;             (* real seconds slept per simulated I/O second *)
-  mutable thread : int;
-  next_thread : int Atomic.t;   (* shared with children in parallel mode *)
-  par : par_shared option;
-  mutable join : join_st option;
-  mutable ctx : domain_ctx option;  (* Some exactly when par is Some (facade mode) *)
-}
-
-(* ---------- heap accounting ---------- *)
-
-(* The heap simulator is single-threaded; serialize charges when running
-   on domains. *)
-let heap_locked st f =
-  match st.par with
-  | None -> f ()
-  | Some p ->
-      Mutex.lock p.heap_mu;
-      Fun.protect ~finally:(fun () -> Mutex.unlock p.heap_mu) f
-
-let mon_locked st f =
-  match st.par with
-  | None -> f ()
-  | Some p ->
-      Mutex.lock p.mon_mu;
-      Fun.protect ~finally:(fun () -> Mutex.unlock p.mon_mu) f
-
-let charge_heap_obj st ~bytes ~data =
-  match st.heap with
-  | None -> ()
-  | Some h -> (
-      let lifetime = if data then Heap.Iteration else Heap.Control in
-      match st.ctx with
-      | Some c -> Heap.Shard.alloc c.dc_shard ~lifetime ~bytes
-      | None -> heap_locked st (fun () -> Heap.alloc h ~lifetime ~bytes))
-
-(* Page wrappers are control heap objects; native pages count toward the
-   process footprint. The cursors are shared, so the caller must hold
-   heap_mu in parallel mode. *)
-let sync_store_heap rt h =
-  let s = Store.stats rt.store in
-  let dn = s.Store.native_bytes - rt.last_native in
-  if dn > 0 then Heap.native_alloc h ~bytes:dn
-  else if dn < 0 then Heap.native_free h ~bytes:(-dn);
-  rt.last_native <- s.Store.native_bytes;
-  let dp = s.Store.pages_created - rt.last_pages in
-  for _ = 1 to dp do
-    Heap.alloc h ~lifetime:Heap.Control ~bytes:Heapsim.Obj_model.page_wrapper_bytes
-  done;
-  rt.last_pages <- s.Store.pages_created
-
-(* Sequentially, sync after every store operation that can allocate; with
-   a domain_ctx the sync is deferred to the next shard flush. *)
-let sync_native st =
-  match st.ctx with
-  | Some _ -> ()
-  | None -> (
-      match st.mode, st.heap with
-      | Facade_mode rt, Some h -> heap_locked st (fun () -> sync_store_heap rt h)
-      | (Facade_mode _ | Object_mode), _ -> ())
-
-(* Drain this thread's shard into the shared structures: publish the
-   pending page-store record count, then (one heap_mu acquisition) replay
-   the heap charges and resync native/page-wrapper deltas. Called at
-   iteration boundaries and joins — the happens-before edges the race
-   detector models — so sequential and parallel runs agree on every
-   additive total. *)
-let flush_ctx st =
-  match st.ctx with
-  | None -> ()
-  | Some c -> (
-      Store.local_flush c.dc_local;
-      match st.heap with
-      | None -> ()
-      | Some h ->
-          let trace = Obs.Trace.on () in
-          let objs, bytes = Heap.Shard.pending c.dc_shard in
-          let worth = not (Heap.Shard.is_empty c.dc_shard) in
-          if trace && worth then Obs.Trace.span_begin ~cat:"vm" "shard_flush";
-          heap_locked st (fun () ->
-              Heap.Shard.flush h c.dc_shard;
-              match st.mode with
-              | Facade_mode rt -> sync_store_heap rt h
-              | Object_mode -> ());
-          if trace && worth then
-            Obs.Trace.span_end
-              ~args:
-                [ ("objects", Obs.Tracer.Aint objs); ("bytes", Obs.Tracer.Aint bytes) ]
-              ())
-
-(* Record/array allocation, routed through the thread's buffered handle
-   when one exists (parallel mode) — no mutex, no shared atomic. *)
-let st_alloc_record st rt ~type_id ~data_bytes =
-  match st.ctx with
-  | Some c -> Store.local_alloc_record c.dc_local ~type_id ~data_bytes
-  | None -> Store.alloc_record rt.store ~thread:st.thread ~type_id ~data_bytes
-
-let st_alloc_array st rt ~type_id ~elem_bytes ~length =
-  match st.ctx with
-  | Some c -> Store.local_alloc_array c.dc_local ~type_id ~elem_bytes ~length
-  | None -> Store.alloc_array rt.store ~thread:st.thread ~type_id ~elem_bytes ~length
-
-let st_alloc_array_oversize st rt ~type_id ~elem_bytes ~length =
-  match st.ctx with
-  | Some c -> Store.local_alloc_array_oversize c.dc_local ~type_id ~elem_bytes ~length
-  | None ->
-      Store.alloc_array_oversize rt.store ~thread:st.thread ~type_id ~elem_bytes ~length
-
-let new_oid st = Atomic.fetch_and_add st.oid 1 + 1
-
-let alloc_obj st cid =
-  let c = st.rp.R.classes.(cid) in
-  Exec_stats.note_alloc st.stats ~cls:c.R.c_name ~is_data:c.R.c_is_data;
-  charge_heap_obj st ~bytes:c.R.c_java_bytes ~data:c.R.c_is_data;
-  Value.Obj
-    { Value.ocls = c.R.c_name; ocid = cid; fields = Array.copy c.R.c_defaults; oid = new_oid st }
-
-let alloc_arr st (na : R.newarr) len =
-  if len < 0 then vm_err "NegativeArraySizeException";
-  Exec_stats.note_alloc st.stats ~cls:na.R.na_cls ~is_data:na.R.na_is_data;
-  charge_heap_obj st
-    ~bytes:(Heapsim.Obj_model.array_bytes ~elem_bytes:na.R.na_elem_bytes ~length:len)
-    ~data:na.R.na_is_data;
-  Value.Arr { Value.aty = na.R.na_ety; elems = Array.make len na.R.na_default; aid = new_oid st }
-
-(* ---------- arithmetic ---------- *)
-
-let rec arith op a b =
-  match op, a, b with
-  | Ir.Add, Value.Int x, Value.Int y -> Value.Int (x + y)
-  | Ir.Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
-  | Ir.Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
-  | Ir.Div, Value.Int _, Value.Int 0 -> vm_err "ArithmeticException: / by zero"
-  | Ir.Div, Value.Int x, Value.Int y -> Value.Int (x / y)
-  | Ir.Rem, Value.Int _, Value.Int 0 -> vm_err "ArithmeticException: %% by zero"
-  | Ir.Rem, Value.Int x, Value.Int y -> Value.Int (x mod y)
-  | Ir.And, Value.Int x, Value.Int y -> Value.Int (x land y)
-  | Ir.Or, Value.Int x, Value.Int y -> Value.Int (x lor y)
-  | Ir.Xor, Value.Int x, Value.Int y -> Value.Int (x lxor y)
-  | Ir.Shl, Value.Int x, Value.Int y -> Value.Int (x lsl y)
-  | Ir.Shr, Value.Int x, Value.Int y -> Value.Int (x asr y)
-  | Ir.Add, Value.Float x, Value.Float y -> Value.Float (x +. y)
-  | Ir.Sub, Value.Float x, Value.Float y -> Value.Float (x -. y)
-  | Ir.Mul, Value.Float x, Value.Float y -> Value.Float (x *. y)
-  | Ir.Div, Value.Float x, Value.Float y -> Value.Float (x /. y)
-  | Ir.Rem, Value.Float x, Value.Float y -> Value.Float (Float.rem x y)
-  | (Ir.Add | Ir.Sub | Ir.Mul | Ir.Div | Ir.Rem), Value.Int x, Value.Float y ->
-      arith_float op (float_of_int x) y
-  | (Ir.Add | Ir.Sub | Ir.Mul | Ir.Div | Ir.Rem), Value.Float x, Value.Int y ->
-      arith_float op x (float_of_int y)
-  | Ir.Lt, x, y -> cmp_num ( < ) ( < ) x y
-  | Ir.Le, x, y -> cmp_num ( <= ) ( <= ) x y
-  | Ir.Gt, x, y -> cmp_num ( > ) ( > ) x y
-  | Ir.Ge, x, y -> cmp_num ( >= ) ( >= ) x y
-  | Ir.Eq, x, y -> Value.Int (if Value.equal_ref x y then 1 else 0)
-  | Ir.Ne, x, y -> Value.Int (if Value.equal_ref x y then 0 else 1)
-  | _, x, y ->
-      vm_err "bad operands for binop: %s, %s" (Value.to_string x) (Value.to_string y)
-
-and arith_float op x y =
-  match op with
-  | Ir.Add -> Value.Float (x +. y)
-  | Ir.Sub -> Value.Float (x -. y)
-  | Ir.Mul -> Value.Float (x *. y)
-  | Ir.Div -> Value.Float (x /. y)
-  | Ir.Rem -> Value.Float (Float.rem x y)
-  | _ -> assert false
-
-and cmp_num fi ff a b =
-  match a, b with
-  | Value.Int x, Value.Int y -> Value.Int (if fi x y then 1 else 0)
-  | Value.Float x, Value.Float y -> Value.Int (if ff x y then 1 else 0)
-  | Value.Int x, Value.Float y -> Value.Int (if ff (float_of_int x) y then 1 else 0)
-  | Value.Float x, Value.Int y -> Value.Int (if ff x (float_of_int y) then 1 else 0)
-  | x, y -> vm_err "bad comparison operands: %s, %s" (Value.to_string x) (Value.to_string y)
-
-(* ---------- coercions ---------- *)
-
-let as_int = function
-  | Value.Int n -> n
-  | v -> vm_err "expected an int, got %s" (Value.to_string v)
-
-let as_float = function
-  | Value.Float x -> x
-  | Value.Int n -> float_of_int n
-  | v -> vm_err "expected a float, got %s" (Value.to_string v)
-
-let as_facade = function
-  | Value.Facade f -> f
-  | v -> vm_err "expected a facade, got %s" (Value.to_string v)
-
-let the_rt st =
-  match st.mode with
-  | Facade_mode rt -> rt
-  | Object_mode -> vm_err "runtime intrinsic outside facade mode"
-
-(* Facade pools are strictly thread-local (paper 3.4): each logical thread
-   gets its own Pools instance on first use. With a domain_ctx the pool
-   handle lives in thread-private state, so after the first use the lookup
-   is lock-free; only the registration in the shared registry (read by
-   [finish]) takes the mutex. *)
-let pools_of st rt =
-  match st.ctx with
-  | Some c -> (
-      match c.dc_pools with
-      | Some p -> p
-      | None ->
-          let p = FP.create ~bounds:rt.bounds in
-          (match st.par with
-          | Some sh ->
-              Mutex.lock sh.pools_mu;
-              Hashtbl.replace rt.pools st.thread p;
-              Mutex.unlock sh.pools_mu
-          | None -> Hashtbl.replace rt.pools st.thread p);
-          c.dc_pools <- Some p;
-          (* The pool facades are heap objects — the paper's O(t·n). *)
-          (match st.heap with
-          | Some _ ->
-              Heap.Shard.alloc_many c.dc_shard ~lifetime:Heap.Permanent
-                ~bytes_each:32 ~count:(FP.total_facades p)
-          | None -> ());
-          p)
-  | None -> (
-      match Hashtbl.find_opt rt.pools st.thread with
-      | Some p -> p
-      | None ->
-          let p = FP.create ~bounds:rt.bounds in
-          Hashtbl.replace rt.pools st.thread p;
-          (match st.heap with
-          | Some h ->
-              Heap.alloc_many h ~lifetime:Heap.Permanent ~bytes_each:32
-                ~count:(FP.total_facades p)
-          | None -> ());
-          p)
-
-(* ---------- dispatch ---------- *)
-
-(* The linked class of a receiver value; everything the vtable needs. *)
-let dispatch_cid st v mname =
-  match v with
-  | Value.Obj o ->
-      if o.Value.ocid >= 0 then o.Value.ocid
-      else (
-        match Hashtbl.find_opt st.rp.R.cid_of_name o.Value.ocls with
-        | Some cid -> cid
-        | None -> vm_err "NoSuchMethodError: %s.%s" o.Value.ocls mname)
-  | Value.Str _ ->
-      if st.rp.R.string_cid >= 0 then st.rp.R.string_cid
-      else vm_err "NoSuchMethodError: %s.%s" Jtype.string_class mname
-  | Value.Facade f ->
-      if Array.length st.rp.R.facade_cid_of_tid = 0 then vm_err "facade value in object mode"
-      else begin
-        let cid = st.rp.R.facade_cid_of_tid.(f.FP.ftype) in
-        if cid >= 0 then cid
-        else vm_err "NoSuchMethodError: facade<%d>.%s" f.FP.ftype mname
-      end
-  | Value.Null | Value.Int _ | Value.Float _ | Value.Arr _ ->
-      vm_err "no runtime class for %s" (Value.to_string v)
-
-(* ---------- type tests ---------- *)
-
-let instance_of st (t : R.rtest) v =
-  match v with
-  | Value.Null -> false
-  | Value.Obj o ->
-      if o.Value.ocid >= 0 then t.R.t_cid_ok.(o.Value.ocid)
-      else Hierarchy.is_assignable st.rp.R.src ~from_:(Jtype.Ref o.Value.ocls) ~to_:t.R.t_ty
-  | Value.Arr a ->
-      Hierarchy.is_assignable st.rp.R.src ~from_:(Jtype.Array a.Value.aty) ~to_:t.R.t_ty
-  | Value.Str _ -> t.R.t_is_string
-  | Value.Facade f ->
-      if Array.length st.rp.R.facade_cid_of_tid = 0 then vm_err "facade value in object mode"
-      else begin
-        let cid = st.rp.R.facade_cid_of_tid.(f.FP.ftype) in
-        if cid >= 0 then t.R.t_cid_ok.(cid)
-        else
-          let rt = the_rt st in
-          Hierarchy.is_assignable st.rp.R.src
-            ~from_:
-              (Jtype.Ref
-                 (Facade_compiler.Transform.facade_name
-                    (Layout.name_of_type_id rt.layout f.FP.ftype)))
-            ~to_:t.R.t_ty
-      end
-  | Value.Int _ | Value.Float _ -> false
 
 (* ---------- conversion functions (paper §3.5) ----------
 
@@ -459,29 +105,35 @@ and write_slot st rt visited addr ~offset ~jty v =
 
 and intern_string st rt s =
   (* Program string constants were interned at setup; the frozen table is
-     never written after that, so this lookup is lock-free. Only genuinely
-     dynamic strings fall through to the mutex. *)
+     never written after that, so this lookup is lock-free. Genuinely
+     dynamic strings go to a per-domain table (snapshot-copied from the
+     spawner at spawn, merged first-wins at joins), so no lock is taken
+     on this path either. The caveat: two domains racing to intern the
+     same *dynamic* string each allocate their own record; no shipped
+     workload does this, and the differential suite would catch the heap
+     divergence if one started to. *)
   match Hashtbl.find_opt rt.intern_frozen s with
   | Some addr -> addr
   | None -> (
-      let body () =
-        match Hashtbl.find_opt rt.string_intern s with
-        | Some addr -> addr
-        | None ->
-            let tid = Layout.type_id rt.layout Jtype.string_class in
-            let addr = st_alloc_record st rt ~type_id:tid ~data_bytes:0 in
-            Exec_stats.note_record st.stats;
-            sync_native st;
-            let ai = Addr.to_int addr in
-            Hashtbl.replace rt.string_intern s ai;
-            Hashtbl.replace rt.strings ai s;
-            ai
-      in
-      match st.par with
-      | None -> body ()
-      | Some sh ->
-          Mutex.lock sh.str_mu;
-          Fun.protect ~finally:(fun () -> Mutex.unlock sh.str_mu) body)
+      match st.ctx with
+      | Some c -> (
+          match Hashtbl.find_opt c.dc_intern s with
+          | Some addr -> addr
+          | None -> intern_dynamic st rt c.dc_intern c.dc_strings s)
+      | None -> (
+          match Hashtbl.find_opt rt.string_intern s with
+          | Some addr -> addr
+          | None -> intern_dynamic st rt rt.string_intern rt.strings s))
+
+and intern_dynamic st rt intern strings s =
+  let tid = Layout.type_id rt.layout Jtype.string_class in
+  let addr = st_alloc_record st rt ~type_id:tid ~data_bytes:0 in
+  Exec_stats.note_record st.stats;
+  sync_native st;
+  let ai = Addr.to_int addr in
+  Hashtbl.replace intern s ai;
+  Hashtbl.replace strings ai s;
+  ai
 
 let rec convert_to st rt (visited : (int, Value.t) Hashtbl.t) (ai : int) : Value.t =
   if ai = 0 then Value.Null
@@ -493,13 +145,9 @@ let rec convert_to st rt (visited : (int, Value.t) Hashtbl.t) (ai : int) : Value
           match Hashtbl.find_opt rt.strings_frozen ai with
           | Some _ as s -> s
           | None -> (
-              match st.par with
-              | None -> Hashtbl.find_opt rt.strings ai
-              | Some sh ->
-                  Mutex.lock sh.str_mu;
-                  Fun.protect
-                    ~finally:(fun () -> Mutex.unlock sh.str_mu)
-                    (fun () -> Hashtbl.find_opt rt.strings ai))
+              match st.ctx with
+              | Some c -> Hashtbl.find_opt c.dc_strings ai
+              | None -> Hashtbl.find_opt rt.strings ai)
         in
         match interned with
         | Some s -> Value.Str s
@@ -560,70 +208,76 @@ and read_slot st rt visited addr ~offset ~jty =
   | Jtype.Ref _ | Jtype.Array _ ->
       convert_to st rt visited (Store.get_i64 rt.store addr ~offset)
 
-(* ---------- intrinsic handlers ---------- *)
-
-let addr_of v = Addr.of_int (as_int v)
-
-let check_nonnull v =
-  if as_int v = 0 then vm_err "NullPointerException: null page reference";
-  v
-
-let store_get rt (a : R.acc) addr ~offset =
-  match a with
-  | R.A_i8 -> Value.Int (Store.get_i8 rt.store addr ~offset)
-  | R.A_i16 -> Value.Int (Store.get_i16 rt.store addr ~offset)
-  | R.A_i32 -> Value.Int (Store.get_i32 rt.store addr ~offset)
-  | R.A_i64 -> Value.Int (Store.get_i64 rt.store addr ~offset)
-  | R.A_f32 -> Value.Float (Store.get_f32 rt.store addr ~offset)
-  | R.A_f64 -> Value.Float (Store.get_f64 rt.store addr ~offset)
-
-let store_set rt (a : R.acc) addr ~offset v =
-  match a with
-  | R.A_i8 -> Store.set_i8 rt.store addr ~offset (as_int v)
-  | R.A_i16 -> Store.set_i16 rt.store addr ~offset (as_int v)
-  | R.A_i32 -> Store.set_i32 rt.store addr ~offset (as_int v)
-  | R.A_i64 -> Store.set_i64 rt.store addr ~offset (as_int v)
-  | R.A_f32 -> Store.set_f32 rt.store addr ~offset (as_float v)
-  | R.A_f64 -> Store.set_f64 rt.store addr ~offset (as_float v)
-
-let elem_width_of_tid st rt tid =
-  if tid >= 0 && tid < st.rp.R.n_tids && st.rp.R.tid_is_array.(tid) then
-    st.rp.R.elem_bytes_of_tid.(tid)
-  else vm_err "not an array type: %s" (Layout.name_of_type_id rt.layout tid)
-
 (* ---------- the interpreter loop ---------- *)
 
-let rec run_body st (m : R.meth) (frame : Value.t array) : Value.t option =
+(* Entry at an arbitrary (block, pc) is what tier-2 deopt resumes
+   through: the compiled code raised {!Vm_state.Tier_deopt} before the
+   faulting instruction's accounting, so replaying from exactly there on
+   the very same frame array reproduces tier-1's history bit for bit. *)
+let rec run_body_from st mx (m : R.meth) (frame : Value.t array) bi0 pc0 :
+    Value.t option =
   let body = m.R.m_body in
-  let rec go bi =
+  let rec go bi pc =
     let b = body.(bi) in
     let code = b.R.code in
-    for i = 0 to Array.length code - 1 do
-      exec st frame code.(i)
+    for i = pc to Array.length code - 1 do
+      exec st mx frame code.(i)
     done;
     match b.R.term with
     | R.Rret_void -> None
     | R.Rret s -> Some frame.(s)
-    | R.Rjump t -> go t
-    | R.Rbranch (s, t, e) -> go (if Value.truthy frame.(s) then t else e)
+    | R.Rjump t -> go t 0
+    | R.Rbranch (s, t, e) -> go (if Value.truthy frame.(s) then t else e) 0
     | R.Rcmp_branch (op, x, y, t, e) ->
-        go (if Value.truthy (arith op (operand frame x) (operand frame y)) then t else e)
+        go (if Value.truthy (arith op (operand frame x) (operand frame y)) then t else e) 0
   in
-  go 0
+  go bi0 pc0
+
+and run_body st mx m frame = run_body_from st mx m frame 0 0
 
 (* Every dispatch funnels through here so method spans cover exactly the
    static + virtual + thread-run + entry calls, which the golden-trace
-   tests count against Exec_stats. *)
-and run_method st (m : R.meth) (frame : Value.t array) : Value.t option =
+   tests count against Exec_stats. With a tier attached this is also the
+   compiled code's install point: cold methods count calls until the
+   threshold trips compilation, and [T_fn] replaces the interpreter. *)
+and run_method (st : st) midx (frame : Value.t array) : Value.t option =
+  Exec_stats.note_mcall st.stats midx;
+  match st.tier with
+  | None -> run_tier1 st midx frame
+  | Some t -> (
+      match t.t_code.(midx) with
+      | T_fn f -> run_tier2 st midx f frame
+      | T_dead -> run_tier1 st midx frame
+      | T_cold ->
+          (* Racy increments across domains can lose counts; the trigger
+             only becomes late, never wrong. *)
+          let n = t.t_calls.(midx) + 1 in
+          t.t_calls.(midx) <- n;
+          if n >= t.t_threshold then Compile_tier.compile_into t st midx;
+          (match t.t_code.(midx) with
+          | T_fn f -> run_tier2 st midx f frame
+          | T_cold | T_dead -> run_tier1 st midx frame))
+
+and run_tier1 st midx frame =
+  let m = st.rp.R.methods.(midx) in
   if Obs.Trace.on () then begin
     Obs.Trace.span_begin ~cat:"vm" (m.R.m_cls ^ "." ^ m.R.m_name);
     Fun.protect
       ~finally:(fun () -> Obs.Trace.span_end ())
-      (fun () -> run_body st m frame)
+      (fun () -> run_body st midx m frame)
   end
-  else run_body st m frame
+  else run_body st midx m frame
 
-and exec st (frame : Value.t array) ins =
+and run_tier2 (st : st) midx f frame =
+  st.stats.Exec_stats.tier2_entries <- st.stats.Exec_stats.tier2_entries + 1;
+  if Obs.Trace.on () then begin
+    let m = st.rp.R.methods.(midx) in
+    Obs.Trace.span_begin ~cat:"vm" (m.R.m_cls ^ "." ^ m.R.m_name);
+    Fun.protect ~finally:(fun () -> Obs.Trace.span_end ()) (fun () -> f st frame)
+  end
+  else f st frame
+
+and exec st mx (frame : Value.t array) ins =
   let stats = st.stats in
   stats.Exec_stats.steps <- stats.Exec_stats.steps + 1;
   if stats.Exec_stats.steps > st.max_steps then vm_err "step budget exceeded";
@@ -685,7 +339,7 @@ and exec st (frame : Value.t array) ins =
       let f = Array.copy m.R.m_frame in
       (match recv with Some s -> f.(0) <- frame.(s) | None -> ());
       Array.iteri (fun i s -> f.(i + 1) <- frame.(s)) args;
-      store_ret frame ret (run_method st m f)
+      store_ret frame ret (run_method st midx f)
   | R.Rcall_virtual (ret, mid, r, args) ->
       st.stats.Exec_stats.virtual_dispatches <- st.stats.Exec_stats.virtual_dispatches + 1;
       let recv = frame.(r) in
@@ -703,7 +357,7 @@ and exec st (frame : Value.t array) ins =
       let f = Array.copy m.R.m_frame in
       f.(0) <- recv;
       Array.iteri (fun i s -> f.(i + 1) <- frame.(s)) args;
-      store_ret frame ret (run_method st m f)
+      store_ret frame ret (run_method st midx f)
   | R.Rinstance_of (d, s, t) ->
       frame.(d) <- Value.Int (if instance_of st t frame.(s) then 1 else 0)
   | R.Rcast (d, s, t) ->
@@ -787,11 +441,11 @@ and exec st (frame : Value.t array) ins =
         if key >= 0 && key lsr 20 = cid then begin
           (* Cache hit: same receiver class resolved here before, so the
              abstract/arity checks that passed at fill time still hold. *)
-          stats.Exec_stats.ic_hits <- stats.Exec_stats.ic_hits + 1;
+          Exec_stats.note_ic_hit stats mx;
           key land R.ic_payload_mask
         end
         else begin
-          stats.Exec_stats.ic_misses <- stats.Exec_stats.ic_misses + 1;
+          Exec_stats.note_ic_miss stats mx;
           if Obs.Trace.on () then Obs.Trace.instant ~cat:"vm" "ic_miss";
           let c = st.rp.R.classes.(cid) in
           let midx = c.R.c_vtable.(mid) in
@@ -811,7 +465,7 @@ and exec st (frame : Value.t array) ins =
       let f = Array.copy m.R.m_frame in
       f.(0) <- recv;
       Array.iteri (fun i s -> f.(i + 1) <- frame.(s)) args;
-      store_ret frame ret (run_method st m f)
+      store_ret frame ret (run_method st midx f)
   | R.Rfield_load_ic (d, o, fid, ic) -> (
       match frame.(o) with
       | Value.Obj ob ->
@@ -819,11 +473,11 @@ and exec st (frame : Value.t array) ins =
           let key = ic.R.ic_key in
           let slot =
             if cid >= 0 && key >= 0 && key lsr 20 = cid then begin
-              stats.Exec_stats.ic_hits <- stats.Exec_stats.ic_hits + 1;
+              Exec_stats.note_ic_hit stats mx;
               key land R.ic_payload_mask
             end
             else begin
-              stats.Exec_stats.ic_misses <- stats.Exec_stats.ic_misses + 1;
+              Exec_stats.note_ic_miss stats mx;
           if Obs.Trace.on () then Obs.Trace.instant ~cat:"vm" "ic_miss";
               let slot = field_slot st ob fid in
               (* Only linked classes have a cid to key the cache on. *)
@@ -841,11 +495,11 @@ and exec st (frame : Value.t array) ins =
           let key = ic.R.ic_key in
           let slot =
             if cid >= 0 && key >= 0 && key lsr 20 = cid then begin
-              stats.Exec_stats.ic_hits <- stats.Exec_stats.ic_hits + 1;
+              Exec_stats.note_ic_hit stats mx;
               key land R.ic_payload_mask
             end
             else begin
-              stats.Exec_stats.ic_misses <- stats.Exec_stats.ic_misses + 1;
+              Exec_stats.note_ic_miss stats mx;
           if Obs.Trace.on () then Obs.Trace.instant ~cat:"vm" "ic_miss";
               let slot = field_slot st ob fid in
               if cid >= 0 then ic.R.ic_key <- R.ic_pack ~cid ~payload:slot;
@@ -931,20 +585,6 @@ and exec st (frame : Value.t array) ins =
         store_get rt a addr2
           ~offset:(Store.array_elem_offset ~elem_bytes:eb2 ~index:j)
 
-and store_ret frame ret res =
-  match ret with
-  | None -> ()
-  | Some r -> frame.(r) <- (match res with Some v -> v | None -> Value.Null)
-
-and operand frame = function R.Oslot s -> frame.(s) | R.Oconst c -> c
-
-and field_slot st (o : Value.obj) fid =
-  let slot =
-    if o.Value.ocid >= 0 then st.rp.R.classes.(o.Value.ocid).R.c_slot_of_fid.(fid) else -1
-  in
-  if slot < 0 then
-    vm_err "NoSuchFieldError: %s.%s" o.Value.ocls st.rp.R.field_names.(fid)
-  else slot
 
 (* Resolve the value handed to a fresh thread into the [run()] receiver:
    in facade mode a record address is rebound through the new thread's
@@ -968,7 +608,7 @@ and run_the_run st recv =
   if m.R.m_nparams <> 0 then vm_err "arity mismatch calling %s.run (0 args)" c.R.c_name;
   let f = Array.copy m.R.m_frame in
   f.(0) <- recv;
-  ignore (run_method st m f)
+  ignore (run_method st midx f)
 
 and run_thread st v =
   (* A fresh logical thread: own page manager (child of the spawning
@@ -1009,11 +649,18 @@ and spawn_thread_parallel st rt v =
       dc_pools = None;
       dc_local = Store.local rt.store ~thread:tid;
       dc_shard = Heap.Shard.create ();
+      (* Dynamic-string snapshot: everything the spawner has interned so
+         far is visible to the child without a lock; what the child adds
+         merges back (first-wins) at the join barrier. *)
+      dc_strings =
+        (match st.ctx with Some pc -> Hashtbl.copy pc.dc_strings | None -> Hashtbl.create 8);
+      dc_intern =
+        (match st.ctx with Some pc -> Hashtbl.copy pc.dc_intern | None -> Hashtbl.create 8);
     }
   in
-  let child_st =
-    { st with stats = Exec_stats.create (); thread = tid; join = None; ctx = Some ctx }
-  in
+  let child_stats = Exec_stats.create () in
+  Exec_stats.ensure_methods child_stats (Array.length st.rp.R.methods);
+  let child_st = { st with stats = child_stats; thread = tid; join = None; ctx = Some ctx } in
   let j =
     match st.join with
     | Some j -> j
@@ -1026,6 +673,7 @@ and spawn_thread_parallel st rt v =
     {
       c_stats = child_st.stats;
       c_shard = ctx.dc_shard;
+      c_ctx = ctx;
       c_anchor = st.stats.Exec_stats.output;
     }
     :: j.children;
@@ -1043,7 +691,7 @@ and spawn_thread_parallel st rt v =
 (* Splice a joined child's output at its spawn point. Both lists are
    newest-first; the anchor is a physical suffix of the parent's current
    output, so the sequential print order is reproduced exactly. *)
-and splice_output st (c : child) =
+and splice_output (st : st) (c : child) =
   let rec cut acc l =
     if l == c.c_anchor then acc
     else match l with [] -> acc | x :: tl -> cut (x :: acc) tl
@@ -1077,10 +725,22 @@ and join_children st =
         cs;
       (match st.ctx with
       | Some c ->
-          (* Absorb the children's heap shards in spawn order, mirroring
-             the Exec_stats merge above. *)
+          (* Absorb the children's heap shards and dynamic-string tables
+             in spawn order, mirroring the Exec_stats merge above.
+             First-wins on strings: the spawn-order-earliest interning of
+             an address (or string) is the one every later reader sees,
+             matching what the locked shared table used to produce. *)
           List.iter
-            (fun ch -> Heap.Shard.merge ~dst:c.dc_shard ~src:ch.c_shard)
+            (fun ch ->
+              Heap.Shard.merge ~dst:c.dc_shard ~src:ch.c_shard;
+              Hashtbl.iter
+                (fun ai s ->
+                  if not (Hashtbl.mem c.dc_strings ai) then Hashtbl.replace c.dc_strings ai s)
+                ch.c_ctx.dc_strings;
+              Hashtbl.iter
+                (fun s ai ->
+                  if not (Hashtbl.mem c.dc_intern s) then Hashtbl.replace c.dc_intern s ai)
+                ch.c_ctx.dc_intern)
             (List.rev cs);
           if Obs.Trace.on () && cs <> [] then Obs.Trace.instant ~cat:"vm" "shard_merge"
       | None -> ())
@@ -1251,6 +911,18 @@ and exec_intrinsic st frame ret i (ops : R.operand array) =
       let offset = Store.array_elem_offset ~elem_bytes:(as_int (v 1)) ~index:idx in
       store_set rt a addr ~offset (v 3)
 
+(* The interpreter services tier-2 hands compiled code: per-instruction
+   delegation (cold sites, intrinsic tails), deopt resumption at an
+   arbitrary (block, pc), and full tier-1 calls for retired callees. The
+   record breaks the module cycle: {!Compile_tier} sees only
+   {!Vm_state}, and these closures arrive through the tier value. *)
+let hooks : Vm_state.hooks =
+  {
+    h_exec = exec;
+    h_resume = (fun st mx frame bi pc -> run_body_from st mx st.rp.R.methods.(mx) frame bi pc);
+    h_call = run_method;
+  }
+
 (* ---------- program setup ---------- *)
 
 let finish st =
@@ -1277,7 +949,13 @@ let run_entry st ~entry_args =
       (List.length entry_args);
   let f = Array.copy m.R.m_frame in
   List.iteri (fun i a -> f.(i + 1) <- a) entry_args;
-  let result = run_method st m f in
+  (* The entry method is called exactly once, so no call-count threshold
+     would ever trip for it; compile it eagerly so main-loop-in-entry
+     workloads still run in tier 2 (there is no on-stack replacement). *)
+  (match st.tier with
+  | Some t -> Compile_tier.compile_into t st st.rp.R.entry
+  | None -> ());
+  let result = run_method st st.rp.R.entry f in
   (* Final barrier: top-level threads spawned outside any iteration. *)
   join_children st;
   flush_ctx st;
@@ -1287,11 +965,13 @@ let run_entry st ~entry_args =
 let default_max_steps = 50_000_000
 
 let make_st ?par ?(io_scale = 0.0) rp mode heap max_steps thread =
+  let stats = Exec_stats.create () in
+  Exec_stats.ensure_methods stats (Array.length rp.R.methods);
   {
     rp;
     mode;
     heap;
-    stats = Exec_stats.create ();
+    stats;
     globals = Array.copy rp.R.globals_init;
     monitors = Hashtbl.create 16;
     oid = Atomic.make 0;
@@ -1302,7 +982,21 @@ let make_st ?par ?(io_scale = 0.0) rp mode heap max_steps thread =
     par;
     join = None;
     ctx = None;
+    tier = None;
+    tret = Value.Null;
   }
+
+let setup_tier st ~tier2 ~tier2_hot ~tier2_feedback =
+  if tier2 then
+    st.tier <- Some (Compile_tier.make ~hot:tier2_hot ?feedback:tier2_feedback ~hooks st.rp)
+
+(* A tier detached from any run, for reuse across object-mode runs of the
+   same linked program: compiled closures thread all per-run state through
+   their [st] argument, so warm code (and call counts) carry over exactly
+   like the quickened inline-cache words already do in a shared [rp].
+   Facade-mode templates capture the run's page store at compile time, so
+   a tier must NOT be shared across facade runs. *)
+let make_tier ?(hot = 8) ?feedback rp = Compile_tier.make ~hot ?feedback ~hooks rp
 
 (* Intern every string constant the linker collected, before execution
    starts: afterwards the frozen tables are read-only, so the hot path
@@ -1327,18 +1021,23 @@ let pre_intern_strings st rt =
             end)
           st.rp.R.string_consts
 
-let run_object_linked ?heap ?(max_steps = default_max_steps) ?(entry_args = []) rp =
+let run_object_linked ?heap ?(max_steps = default_max_steps) ?(entry_args = [])
+    ?(tier2 = false) ?(tier2_hot = 8) ?tier2_feedback ?tier rp =
   let st = make_st rp Object_mode heap max_steps 0 in
+  (match tier with
+  | Some t -> st.tier <- Some t
+  | None -> setup_tier st ~tier2 ~tier2_hot ~tier2_feedback);
   run_entry st ~entry_args
 
 let run_object ?heap ?(is_data = fun _ -> false) ?(max_steps = default_max_steps)
-    ?(entry_args = []) ?(quicken = false) p =
-  run_object_linked ?heap ~max_steps ~entry_args
+    ?(entry_args = []) ?(quicken = false) ?(tier2 = false) ?(tier2_hot = 8) ?tier2_feedback
+    p =
+  run_object_linked ?heap ~max_steps ~entry_args ~tier2 ~tier2_hot ?tier2_feedback
     (Link.object_program ~is_data ~quicken p)
 
 let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
-    ?(io_scale = 0.0) ?(entry_args = []) ?(quicken = false)
-    (pl : Facade_compiler.Pipeline.t) =
+    ?(io_scale = 0.0) ?(entry_args = []) ?(quicken = false) ?(tier2 = false)
+    ?(tier2_hot = 8) ?tier2_feedback (pl : Facade_compiler.Pipeline.t) =
   let rp = Link.facade_program ~quicken pl in
   let store = Store.create ?page_bytes () in
   let thread = 0 in
@@ -1369,12 +1068,12 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
           {
             pool = Parallel.Pool.create ~workers:(max 1 w);
             pools_mu = Mutex.create ();
-            str_mu = Mutex.create ();
             mon_mu = Mutex.create ();
             heap_mu = Mutex.create ();
           }
   in
   let st = make_st ?par ~io_scale rp (Facade_mode rt) heap max_steps thread in
+  setup_tier st ~tier2 ~tier2_hot ~tier2_feedback;
   (* The facade pools themselves are heap objects — the paper's O(t·n). *)
   (match heap with
   | Some h ->
@@ -1394,6 +1093,8 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
             dc_pools = Some (Hashtbl.find pools 0);
             dc_local = Store.local store ~thread;
             dc_shard = Heap.Shard.create ();
+            dc_strings = Hashtbl.create 16;
+            dc_intern = Hashtbl.create 16;
           };
       Fun.protect
         ~finally:(fun () -> Parallel.Pool.shutdown sh.pool)

@@ -43,6 +43,9 @@ val run_object :
   ?max_steps:int ->
   ?entry_args:Value.t list ->
   ?quicken:bool ->
+  ?tier2:bool ->
+  ?tier2_hot:int ->
+  ?tier2_feedback:Compile_tier.feedback ->
   Jir.Program.t ->
   outcome
 (** Execute a program's entry point in object mode. [max_steps] defaults
@@ -50,18 +53,43 @@ val run_object :
     rewrite — inline caches, specialized accessors, superinstructions —
     over the linked form first; results and output are unchanged but step
     counts shrink, so differential tests against {!Interp_baseline} keep
-    it off. *)
+    it off.
+
+    [tier2] (default [false]) attaches the {!Compile_tier} closure
+    compiler: methods reaching [tier2_hot] calls (default 8; the entry
+    method compiles eagerly) are translated to composed closures with
+    deoptimization back to the interpreter. Observable behaviour —
+    results, output, step counts, instruction mix, heap totals — is
+    identical to tier 1. [tier2_feedback] forwards the opt pipeline's
+    CHA/inlining facts to widen what compiles. *)
 
 val run_object_linked :
   ?heap:Heapsim.Heap.t ->
   ?max_steps:int ->
   ?entry_args:Value.t list ->
+  ?tier2:bool ->
+  ?tier2_hot:int ->
+  ?tier2_feedback:Compile_tier.feedback ->
+  ?tier:Vm_state.tier ->
   Resolved.program ->
   outcome
 (** As {!run_object} on an already-linked (and possibly quickened)
     program, so callers that execute the same program repeatedly — the
     benchmarks, warm services — pay {!Link.object_program} once instead
-    of per run. *)
+    of per run.
+
+    [?tier] attaches a pre-built tier from {!make_tier} instead of a
+    fresh one (overriding [tier2]/[tier2_hot]/[tier2_feedback]), so
+    compiled code and call counts persist across runs the way quickened
+    inline-cache state already does in a shared linked program. The tier
+    must have been built for this same [rp]. *)
+
+val make_tier :
+  ?hot:int -> ?feedback:Compile_tier.feedback -> Resolved.program -> Vm_state.tier
+(** A tier-2 state detached from any single run, for
+    {!run_object_linked}'s [?tier]. Object mode only: facade-mode
+    compiled code captures the run's page store, so sharing a tier
+    across facade runs is unsound. *)
 
 val run_facade :
   ?heap:Heapsim.Heap.t ->
@@ -71,6 +99,9 @@ val run_facade :
   ?io_scale:float ->
   ?entry_args:Value.t list ->
   ?quicken:bool ->
+  ?tier2:bool ->
+  ?tier2_hot:int ->
+  ?tier2_feedback:Compile_tier.feedback ->
   Facade_compiler.Pipeline.t ->
   outcome
 (** Execute a compiled pipeline's transformed program in facade mode.
@@ -100,4 +131,9 @@ val run_facade :
     simulated second of [sys.io_read] latency: with it the VM realizes
     simulated reads as actual blocking waits, which overlap across worker
     domains — the same mechanism (and typical scale, [5e-3]) the
-    graphchi/hyracks/gps engines use for their scalability curves. *)
+    graphchi/hyracks/gps engines use for their scalability curves.
+
+    [tier2]/[tier2_hot]/[tier2_feedback] are as for {!run_object}; the
+    tier state is shared across worker domains (racing compilations are
+    benign) and each logical thread takes the compiled code when its own
+    dispatch reaches it. *)

@@ -458,3 +458,16 @@ let counts (p : R.program) =
     fused_pairs = !fused;
     imm_ops = !imm;
   }
+
+(* Inline-cache sites in one method — the per-method denominator the
+   CLI's profile report pairs with the Exec_stats hit/miss counters. *)
+let ic_sites (m : R.meth) =
+  Array.fold_left
+    (fun acc (b : R.block) ->
+      Array.fold_left
+        (fun acc ins ->
+          match ins with
+          | R.Rcall_virtual_ic _ | R.Rfield_load_ic _ | R.Rfield_store_ic _ -> acc + 1
+          | _ -> acc)
+        acc b.R.code)
+    0 m.R.m_body

@@ -213,6 +213,19 @@ type program = {
 
 let n_classes p = Array.length p.classes
 
+(* Basic-block view used by the tier-2 closure compiler: successor block
+   indices of a block's terminator, and a method's total instruction
+   count (its compile-size budget). *)
+let block_succs b =
+  match b.term with
+  | Rret_void | Rret _ -> []
+  | Rjump t -> [ t ]
+  | Rbranch (_, t, f) | Rcmp_branch (_, _, _, t, f) ->
+      if t = f then [ t ] else [ t; f ]
+
+let instr_count m =
+  Array.fold_left (fun acc b -> acc + Array.length b.code) 0 m.m_body
+
 (* Instruction-mix category (the [Exec_stats.cat_] constants), used by the
    interpreter's per-step accounting. *)
 let category = function

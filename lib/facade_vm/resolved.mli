@@ -210,5 +210,13 @@ type program = {
 
 val n_classes : program -> int
 
+val block_succs : block -> int list
+(** Successor block indices of a block's terminator (basic-block view
+    for the tier-2 closure compiler). Empty for returns; a conditional
+    whose arms coincide yields one successor. *)
+
+val instr_count : meth -> int
+(** Total instructions across a method's blocks (compile-size budget). *)
+
 val category : instr -> int
 (** Instruction-mix category ({!Exec_stats.cat_const} etc.). *)

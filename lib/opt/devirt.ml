@@ -7,6 +7,26 @@ open Jir
    see DESIGN §10 for the rt.runThread argument. Shares the candidate
    enumeration with Facade_compiler.Optimize. *)
 
+(* Method names with exactly one (non-static) implementation anywhere in
+   the closed program: a virtual call on such a name can only ever reach
+   that implementation, whatever the receiver. The tier-2 compiler feeds
+   on this — at a compiled call site whose inline cache misses on one of
+   these names, the dispatch is delegated instead of deoptimizing the
+   whole method, since the miss cannot change the target. *)
+let monomorphic_names p =
+  let impls = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Ir.cls) ->
+      List.iter
+        (fun (m : Ir.meth) ->
+          if not m.Ir.mstatic then
+            Hashtbl.replace impls m.Ir.mname
+              (1 + Option.value ~default:0 (Hashtbl.find_opt impls m.Ir.mname)))
+        c.Ir.cmethods)
+    (Program.classes p);
+  Hashtbl.fold (fun n count acc -> if count = 1 then n :: acc else acc) impls []
+  |> List.sort compare
+
 let run p =
   let count = ref 0 in
   let p' =

@@ -14,12 +14,26 @@ type report = {
   deltas : Delta.t list;
   instrs_before : int;
   instrs_after : int;
+  tier_mono : string list;
+      (** method names with a single implementation (CHA over the
+          optimized program) — tier-2 devirtualization feedback *)
+  tier_leaves : (string * string) list;
+      (** (class, method) pairs passing the structural leaf test — the
+          tier-2 compiler widens its inline budget for these *)
 }
 
+let json_str s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
 let report_to_json r =
-  Printf.sprintf {|{"instrs_before":%d,"instrs_after":%d,"passes":[%s]}|}
+  Printf.sprintf
+    {|{"instrs_before":%d,"instrs_after":%d,"passes":[%s],"tier_feedback":{"monomorphic":[%s],"leaves":[%s]}}|}
     r.instrs_before r.instrs_after
     (String.concat "," (List.map Delta.to_json r.deltas))
+    (String.concat "," (List.map json_str r.tier_mono))
+    (String.concat ","
+       (List.map
+          (fun (c, m) -> Printf.sprintf "[%s,%s]" (json_str c) (json_str m))
+          r.tier_leaves))
 
 let run_pass name metric enabled f (p, deltas) =
   if not enabled then (p, deltas)
@@ -57,8 +71,13 @@ let optimize_program ?(config = Config.default) ?(may_inline = fun _ _ -> true) 
   in
   let p', deltas = acc in
   ( p',
-    { deltas = List.rev deltas; instrs_before; instrs_after = Program.total_instrs p' }
-  )
+    {
+      deltas = List.rev deltas;
+      instrs_before;
+      instrs_after = Program.total_instrs p';
+      tier_mono = Devirt.monomorphic_names p';
+      tier_leaves = Inline.leaf_candidates p';
+    } )
 
 (* Inlining never crosses the control/data boundary: facade classes (and
    everything classified data) are one side, control code the other. *)

@@ -15,6 +15,27 @@ let inlinable_instr = function
       false
   | _ -> true
 
+(* (class, method) pairs the structural leaf test admits: single
+   straight-line returning block of at most [budget] non-calling
+   instructions. The pass above inlines the direct-call sites among
+   them; the residue (virtual sites, cross-boundary sites) is what the
+   tier-2 compiler can still inline at run time, so the driver reports
+   this list as feedback. *)
+let leaf_candidates ?(budget = 8) p =
+  List.concat_map
+    (fun (c : Ir.cls) ->
+      List.filter_map
+        (fun (m : Ir.meth) ->
+          if
+            Array.length m.Ir.body = 1
+            && List.length m.Ir.body.(0).Ir.instrs <= budget
+            && List.for_all inlinable_instr m.Ir.body.(0).Ir.instrs
+            && match m.Ir.body.(0).Ir.term with Ir.Ret _ -> true | _ -> false
+          then Some (c.Ir.cname, m.Ir.mname)
+          else None)
+        c.Ir.cmethods)
+    (Program.classes p)
+
 let try_inline p ~budget ~may_inline ~caller_cls ~next_id ~extra_locals ins =
   match ins with
   | Ir.Call (ret, ((Ir.Static | Ir.Special) as kind), cls, name, recv, args)

@@ -11,13 +11,35 @@ let capacity = Bigarray.Array1.dim
 let read_u8 (p : t) i = Char.code (Bigarray.Array1.get p i)
 let write_u8 (p : t) i v = Bigarray.Array1.set p i (Char.chr (v land 0xff))
 
-let read_u16 p i = read_u8 p i lor (read_u8 p (i + 1) lsl 8)
+(* Multi-byte accessors bounds-check the access once up front, then read
+   or write unchecked bytes; an out-of-range access falls back to the
+   checked byte path so it raises exactly where (and what) a byte-wise
+   walk would. Little-endian throughout. *)
+
+let ub (p : t) i = Char.code (Bigarray.Array1.unsafe_get p i)
+
+let wb (p : t) i v =
+  Bigarray.Array1.unsafe_set p i (Char.unsafe_chr (v land 0xff))
+
+let read_u16 p i =
+  if i >= 0 && i + 2 <= Bigarray.Array1.dim p then ub p i lor (ub p (i + 1) lsl 8)
+  else read_u8 p i lor (read_u8 p (i + 1) lsl 8)
 
 let write_u16 p i v =
-  write_u8 p i v;
-  write_u8 p (i + 1) (v lsr 8)
+  if i >= 0 && i + 2 <= Bigarray.Array1.dim p then begin
+    wb p i v;
+    wb p (i + 1) (v lsr 8)
+  end
+  else begin
+    write_u8 p i v;
+    write_u8 p (i + 1) (v lsr 8)
+  end
 
-let read_u32 p i = read_u16 p i lor (read_u16 p (i + 2) lsl 16)
+let read_u32 p i =
+  if i >= 0 && i + 4 <= Bigarray.Array1.dim p then
+    ub p i lor (ub p (i + 1) lsl 8) lor (ub p (i + 2) lsl 16)
+    lor (ub p (i + 3) lsl 24)
+  else read_u16 p i lor (read_u16 p (i + 2) lsl 16)
 
 let read_i32 p i =
   let v = read_u32 p i in
@@ -25,17 +47,46 @@ let read_i32 p i =
   (v lxor 0x80000000) - 0x80000000
 
 let write_i32 p i v =
-  write_u16 p i v;
-  write_u16 p (i + 2) (v asr 16)
+  if i >= 0 && i + 4 <= Bigarray.Array1.dim p then begin
+    wb p i v;
+    wb p (i + 1) (v lsr 8);
+    wb p (i + 2) (v lsr 16);
+    wb p (i + 3) (v asr 24)
+  end
+  else begin
+    write_u16 p i v;
+    write_u16 p (i + 2) (v asr 16)
+  end
 
 let read_i64 p i =
-  let lo = read_u32 p i in
-  let hi = read_u32 p (i + 4) in
-  lo lor (hi lsl 32)
+  if i >= 0 && i + 8 <= Bigarray.Array1.dim p then
+    ub p i lor (ub p (i + 1) lsl 8) lor (ub p (i + 2) lsl 16)
+    lor (ub p (i + 3) lsl 24)
+    lor (ub p (i + 4) lsl 32)
+    lor (ub p (i + 5) lsl 40)
+    lor (ub p (i + 6) lsl 48)
+    lor (ub p (i + 7) lsl 56)
+  else begin
+    let lo = read_u32 p i in
+    let hi = read_u32 p (i + 4) in
+    lo lor (hi lsl 32)
+  end
 
 let write_i64 p i v =
-  write_i32 p i v;
-  write_i32 p (i + 4) (v asr 32)
+  if i >= 0 && i + 8 <= Bigarray.Array1.dim p then begin
+    wb p i v;
+    wb p (i + 1) (v lsr 8);
+    wb p (i + 2) (v lsr 16);
+    wb p (i + 3) (v lsr 24);
+    wb p (i + 4) (v lsr 32);
+    wb p (i + 5) (v lsr 40);
+    wb p (i + 6) (v lsr 48);
+    wb p (i + 7) (v asr 56)
+  end
+  else begin
+    write_i32 p i v;
+    write_i32 p (i + 4) (v asr 32)
+  end
 
 (* The top bit of an IEEE double pattern would not survive a round-trip
    through OCaml's 63-bit int, so floats move as two 32-bit halves. *)

@@ -72,6 +72,13 @@ val set_ref : t -> Addr.t -> offset:int -> Addr.t -> unit
 val array_elem_offset : elem_bytes:int -> index:int -> int
 (** Byte offset of element [index] relative to the record start. *)
 
+val base : t -> Addr.t -> Page.t * int
+(** Resolve an address to its backing page and record-start byte offset —
+    the page-table lookup every accessor above performs once per call.
+    Exposed so compiled code that touches several fields of one record
+    (array length + element, read-modify-write) can resolve the page a
+    single time; the page stays valid until its iteration is reclaimed. *)
+
 val arraycopy :
   t -> src:Addr.t -> src_pos:int -> dst:Addr.t -> dst_pos:int -> len:int -> elem_bytes:int -> unit
 (** The runtime model of [System.arraycopy] over paged arrays. *)

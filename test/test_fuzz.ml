@@ -16,6 +16,7 @@ let ctor = Facade_compiler.Transform.constructor_name
    in bounds, links never produce dangling reads). *)
 type op =
   | Fresh of int                 (* vi = new D (re-initialize) *)
+  | Flip of int                  (* vi = new E (subclass: combine overridden) *)
   | Set_a of int * int           (* vi.a = const *)
   | Set_f of int * float         (* vi.f = const *)
   | Add_a of int * int           (* vi.a = vi.a + vj.a *)
@@ -24,7 +25,8 @@ type op =
   | Swap of int * int            (* vi = vj *)
   | Arr_set of int * int * int   (* vi.arr[idx] = const *)
   | Arr_accum of int * int       (* vi.a = vi.a + vi.arr[idx] *)
-  | Combine of int * int         (* vi.combine(vj): a += other.a (virtual call) *)
+  | Combine of int * int         (* Main.comb(vi, vj): virtual vi.combine(vj) *)
+  | Sync of int                  (* Main.bump(vi): monitored vi.a += 1 *)
 
 let nvars = 4
 
@@ -35,6 +37,7 @@ let op_gen =
   frequency
     [
       (1, map (fun i -> Fresh i) var);
+      (1, map (fun i -> Flip i) var);
       (3, map2 (fun i c -> Set_a (i, c)) var (int_bound 1000));
       (2, map2 (fun i c -> Set_f (i, c)) var (float_bound_inclusive 100.0));
       (3, map2 (fun i j -> Add_a (i, j)) var var);
@@ -43,6 +46,7 @@ let op_gen =
       (3, map3 (fun i k c -> Arr_set (i, k, c)) var idx (int_bound 100));
       (2, map2 (fun i k -> Arr_accum (i, k)) var idx);
       (2, map2 (fun i j -> Combine (i, j)) var var);
+      (1, map (fun i -> Sync i) var);
       (1, map2 (fun i j -> Follow (i, j)) var var);
     ]
 
@@ -85,6 +89,59 @@ let program_of_ops ops =
         ]
       ~methods:[ init; combine ]
   in
+  (* Subclass with an observably different [combine]: a Flip op swaps a
+     variable to an [E] receiver, which mid-method invalidates any warm
+     monomorphic inline cache — the tier-2 polymorphic-deopt trigger. *)
+  let sub_cls =
+    let init =
+      let m = B.create ctor in
+      let b = B.entry m in
+      B.call b ~recv:"this" ~kind:Ir.Special ~cls:"D" ~name:ctor [];
+      B.ret b None;
+      B.finish m
+    in
+    let combine =
+      let m = B.create "combine" ~params:[ ("o", Jtype.Ref "D") ] in
+      let b = B.entry m in
+      let x = B.fresh m int_t in
+      let y = B.fresh m int_t in
+      let s = B.fresh m int_t in
+      B.fload b ~dst:x ~obj:"this" ~field:"a";
+      B.fload b ~dst:y ~obj:"o" ~field:"a";
+      B.binop b s Ir.Add x y;
+      B.binop b s Ir.Add s y;
+      B.fstore b ~obj:"this" ~field:"a" ~src:s;
+      B.ret b None;
+      B.finish m
+    in
+    B.cls "E" ~super:"D" ~methods:[ init; combine ]
+  in
+  (* Static helpers the random ops call through: repeated calls push
+     them over the tier-2 threshold, so the virtual dispatch and the
+     monitor region execute inside compiled code. *)
+  let comb_helper =
+    let m =
+      B.create ~static:true "comb" ~params:[ ("x", Jtype.Ref "D"); ("y", Jtype.Ref "D") ]
+    in
+    let b = B.entry m in
+    B.call b ~recv:"x" ~kind:Ir.Virtual ~cls:"D" ~name:"combine" [ "y" ];
+    B.ret b None;
+    B.finish m
+  in
+  let bump_helper =
+    let m = B.create ~static:true "bump" ~params:[ ("x", Jtype.Ref "D") ] in
+    let b = B.entry m in
+    let t = B.fresh m int_t in
+    let one = B.fresh m int_t in
+    B.monitor_enter b "x";
+    B.fload b ~dst:t ~obj:"x" ~field:"a";
+    B.const_i b one 1;
+    B.binop b t Ir.Add t one;
+    B.fstore b ~obj:"x" ~field:"a" ~src:t;
+    B.monitor_exit b "x";
+    B.ret b None;
+    B.finish m
+  in
   let main =
     let m = B.create ~static:true "main" ~ret:int_t in
     let b = B.entry m in
@@ -104,8 +161,13 @@ let program_of_ops ops =
     let tmp_s = B.fresh m int_t in
     let tmp_f = B.fresh m double_t in
     let tmp_arr = B.fresh m (Jtype.Array int_t) in
+    let flip_rec dst =
+      B.new_obj b dst "E";
+      B.call b ~recv:dst ~kind:Ir.Special ~cls:"E" ~name:ctor []
+    in
     let emit = function
       | Fresh i -> fresh_rec (v i)
+      | Flip i -> flip_rec (v i)
       | Set_a (i, c) ->
           B.const_i b tmp_i c;
           B.fstore b ~obj:(v i) ~field:"a" ~src:tmp_i
@@ -133,7 +195,8 @@ let program_of_ops ops =
           B.binop b tmp_s Ir.Add tmp_s tmp_i;
           B.fstore b ~obj:(v i) ~field:"a" ~src:tmp_s
       | Combine (i, j) ->
-          B.call b ~recv:(v i) ~kind:Ir.Virtual ~cls:"D" ~name:"combine" [ v j ]
+          B.call b ~kind:Ir.Static ~cls:"Main" ~name:"comb" [ v i; v j ]
+      | Sync i -> B.call b ~kind:Ir.Static ~cls:"Main" ~name:"bump" [ v i ]
     in
     List.iter emit ops;
     (* Checksum over every variable: ints, array slots, a float signal. *)
@@ -158,9 +221,11 @@ let program_of_ops ops =
     B.ret b (Some acc);
     B.finish m
   in
-  Program.make ~entry:("Main", "main") [ data_cls; B.cls "Main" ~methods:[ main ] ]
+  Program.make ~entry:("Main", "main")
+    [ data_cls; sub_cls; B.cls "Main" ~methods:[ comb_helper; bump_helper; main ] ]
 
-let spec = { Facade_compiler.Classify.data_roots = [ "D"; "Main" ]; boundary = [] }
+let spec =
+  { Facade_compiler.Classify.data_roots = [ "D"; "E"; "Main" ]; boundary = [] }
 
 (* Every generated program is verifier-clean, so the flow-sensitive
    analyses must terminate without crashing and report nothing — on the
@@ -209,6 +274,42 @@ let prop_differential =
        QCheck.Gen.(list_size (int_range 0 60) op_gen))
     run_differential
 
+(* The tier-2 deopt fuzzer: the same random programs, each executed by
+   the quickened interpreter and by the closure compiler with a hot
+   threshold of 2 — low enough that [comb]/[bump] compile mid-run, so
+   Flip ops invalidate warm inline caches inside compiled code and Sync
+   ops hit the monitor deopt. Both modes must be bit-identical across
+   tiers: result, printed output, step count, and heap/page totals. *)
+let run_tier_differential ops =
+  let program = program_of_ops ops in
+  let pl = Facade_compiler.Pipeline.compile ~spec program in
+  let is_data c =
+    Facade_compiler.Classify.is_data_class pl.Facade_compiler.Pipeline.classification c
+  in
+  let key (o : Facade_vm.Interp.outcome) =
+    ( (match o.Facade_vm.Interp.result with
+      | Some v -> Facade_vm.Value.to_string v
+      | None -> "-"),
+      Facade_vm.Exec_stats.output_lines o.Facade_vm.Interp.stats,
+      o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.steps,
+      o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.data_objects,
+      o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.page_records )
+  in
+  let obj1 = Facade_vm.Interp.run_object ~is_data ~quicken:true program in
+  let obj2 =
+    Facade_vm.Interp.run_object ~is_data ~quicken:true ~tier2:true ~tier2_hot:2 program
+  in
+  let fac1 = Facade_vm.Interp.run_facade ~quicken:true pl in
+  let fac2 = Facade_vm.Interp.run_facade ~quicken:true ~tier2:true ~tier2_hot:2 pl in
+  key obj1 = key obj2 && key fac1 = key fac2
+
+let prop_tier_differential =
+  QCheck.Test.make ~name:"random programs: tier2 = tier1 in both modes" ~count:100
+    (QCheck.make
+       ~print:(fun ops -> Printf.sprintf "<%d ops>" (List.length ops))
+       QCheck.Gen.(list_size (int_range 0 60) op_gen))
+    run_tier_differential
+
 let test_empty_program () =
   Alcotest.(check bool) "no ops" true (run_differential [])
 
@@ -221,6 +322,19 @@ let test_directed_cases () =
       [ Swap (0, 1); Set_a (0, 9); Add_a (1, 0) ];  (* alias: v0 == v1 *)
       [ Arr_set (3, 2, 41); Arr_accum (3, 2); Combine (0, 3) ];
       [ Fresh 0; Fresh 0; Set_f (0, 2.5); Follow (0, 0) ];
+      [ Flip 0; Set_a (0, 3); Combine (0, 1); Sync 0; Combine (1, 0) ];
+    ]
+
+let test_directed_tier_flip () =
+  (* Warm the cache in [comb] on D receivers, compile, then flip: the
+     deopt must be invisible in the checksum, output, and step count. *)
+  let warm = List.init 5 (fun _ -> Combine (0, 1)) in
+  List.iter
+    (fun ops -> Alcotest.(check bool) "tier flip" true (run_tier_differential ops))
+    [
+      warm @ [ Flip 0; Combine (0, 1); Combine (1, 0) ];
+      warm @ [ Flip 1; Sync 1; Combine (0, 1); Sync 0; Sync 0; Sync 0 ];
+      [ Sync 2; Sync 2; Sync 2; Sync 2; Flip 2; Sync 2; Combine (2, 2) ];
     ]
 
 let () =
@@ -231,5 +345,10 @@ let () =
           Alcotest.test_case "empty" `Quick test_empty_program;
           Alcotest.test_case "directed" `Quick test_directed_cases;
           QCheck_alcotest.to_alcotest prop_differential;
+        ] );
+      ( "tier",
+        [
+          Alcotest.test_case "directed receiver flips" `Quick test_directed_tier_flip;
+          QCheck_alcotest.to_alcotest prop_tier_differential;
         ] );
     ]
