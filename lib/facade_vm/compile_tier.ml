@@ -58,43 +58,43 @@ let bin_fn (op : Ir.binop) : Value.t -> Value.t -> Value.t =
   | Ir.Add -> (
       fun a b ->
         match a, b with
-        | Value.Int x, Value.Int y -> Value.Int (x + y)
+        | Value.Int x, Value.Int y -> Value.of_int (x + y)
         | Value.Float x, Value.Float y -> Value.Float (x +. y)
         | _ -> arith Ir.Add a b)
   | Ir.Sub -> (
       fun a b ->
         match a, b with
-        | Value.Int x, Value.Int y -> Value.Int (x - y)
+        | Value.Int x, Value.Int y -> Value.of_int (x - y)
         | Value.Float x, Value.Float y -> Value.Float (x -. y)
         | _ -> arith Ir.Sub a b)
   | Ir.Mul -> (
       fun a b ->
         match a, b with
-        | Value.Int x, Value.Int y -> Value.Int (x * y)
+        | Value.Int x, Value.Int y -> Value.of_int (x * y)
         | Value.Float x, Value.Float y -> Value.Float (x *. y)
         | _ -> arith Ir.Mul a b)
   | Ir.Lt -> (
       fun a b ->
         match a, b with
-        | Value.Int x, Value.Int y -> Value.Int (if x < y then 1 else 0)
+        | Value.Int x, Value.Int y -> Value.of_int (if x < y then 1 else 0)
         | _ -> arith Ir.Lt a b)
   | Ir.Le -> (
       fun a b ->
         match a, b with
-        | Value.Int x, Value.Int y -> Value.Int (if x <= y then 1 else 0)
+        | Value.Int x, Value.Int y -> Value.of_int (if x <= y then 1 else 0)
         | _ -> arith Ir.Le a b)
   | Ir.Gt -> (
       fun a b ->
         match a, b with
-        | Value.Int x, Value.Int y -> Value.Int (if x > y then 1 else 0)
+        | Value.Int x, Value.Int y -> Value.of_int (if x > y then 1 else 0)
         | _ -> arith Ir.Gt a b)
   | Ir.Ge -> (
       fun a b ->
         match a, b with
-        | Value.Int x, Value.Int y -> Value.Int (if x >= y then 1 else 0)
+        | Value.Int x, Value.Int y -> Value.of_int (if x >= y then 1 else 0)
         | _ -> arith Ir.Ge a b)
-  | Ir.Eq -> fun a b -> Value.Int (if Value.equal_ref a b then 1 else 0)
-  | Ir.Ne -> fun a b -> Value.Int (if Value.equal_ref a b then 0 else 1)
+  | Ir.Eq -> fun a b -> Value.of_int (if Value.equal_ref a b then 1 else 0)
+  | Ir.Ne -> fun a b -> Value.of_int (if Value.equal_ref a b then 0 else 1)
   | op -> arith op
 
 (* Frame slots come from the linker, which sized each method's frame to
@@ -119,10 +119,10 @@ let addr_nn = function
    where the interpreter's Store calls look it up per access. *)
 let pg_read (a : R.acc) : Page.t -> int -> Value.t =
   match a with
-  | R.A_i8 -> fun p i -> Value.Int (Page.read_u8 p i)
-  | R.A_i16 -> fun p i -> Value.Int (Page.read_u16 p i)
-  | R.A_i32 -> fun p i -> Value.Int (Page.read_i32 p i)
-  | R.A_i64 -> fun p i -> Value.Int (Page.read_i64 p i)
+  | R.A_i8 -> fun p i -> Value.of_int (Page.read_u8 p i)
+  | R.A_i16 -> fun p i -> Value.of_int (Page.read_u16 p i)
+  | R.A_i32 -> fun p i -> Value.of_int (Page.read_i32 p i)
+  | R.A_i64 -> fun p i -> Value.of_int (Page.read_i64 p i)
   | R.A_f32 -> fun p i -> Value.Float (Page.read_f32 p i)
   | R.A_f64 -> fun p i -> Value.Float (Page.read_f64 p i)
 
@@ -159,8 +159,10 @@ let int_op : Ir.binop -> (int -> int -> int) option = function
 (* ---------- compiled-code runner ---------- *)
 
 (* Block closures return the next block index, [-1] for a void return,
-   [-2] for a value return (parked in the per-thread [st.tret] cell). *)
-let run_blocks st (blocks : (st -> Value.t array -> int) array) frame =
+   [-2] for a value return (parked in the per-thread [st.tret] cell).
+   [bi0] is the entry block: 0 for a normal call, a loop header for an
+   on-stack replacement. *)
+let run_blocks_from st (blocks : (st -> Value.t array -> int) array) frame bi0 =
   let rec go bi =
     let next = blocks.(bi) st frame in
     if next >= 0 then go next
@@ -171,13 +173,33 @@ let run_blocks st (blocks : (st -> Value.t array -> int) array) frame =
       Some v
     end
   in
-  go 0
+  go bi0
+
+let run_blocks st blocks frame = run_blocks_from st blocks frame 0
 
 let note_deopt reason =
   if Obs.Trace.on () then
     Obs.Trace.instant ~cat:"vm"
       ~args:[ ("reason", Obs.Tracer.Astr reason) ]
       "tier_deopt"
+
+(* Entry wrapper shared by normal compilation, OSR variants, and IC-drift
+   recompiles: run the composed blocks from [bi0] and, on a guard
+   failure, count the deopt, retire the method's compiled code — entry
+   *and* every OSR variant — at the limit, and resume tier-1 at the
+   failed pc on the same frame. *)
+let wrap_blocks (t : tier) mx blocks bi0 st frame =
+  try run_blocks_from st blocks frame bi0
+  with Tier_deopt (dbi, dpc, reason) ->
+    st.stats.Exec_stats.tier2_deopts <- st.stats.Exec_stats.tier2_deopts + 1;
+    t.t_fail.(mx) <- t.t_fail.(mx) + 1;
+    if t.t_fail.(mx) >= deopt_limit then begin
+      t.t_code.(mx) <- T_dead;
+      let osr = t.t_osr_code.(mx) in
+      Array.iteri (fun i _ -> osr.(i) <- T_dead) osr
+    end;
+    note_deopt reason;
+    t.t_hooks.h_resume st mx frame dbi dpc
 
 (* Deopt inside an inlined leaf callee: count it, then resume the
    *callee* in tier-1 from the failed pc; the caller's compiled code
@@ -208,10 +230,16 @@ let compile_term (term : R.term) : st -> Value.t array -> int =
    (step/mix accounting hoisted into the enclosing segment) or a
    self-charging action (guards, calls, delegations) that runs its own
    budget precheck so a deopt lands before its accounting. The two int
-   payloads of [S_bulk] are the mix category and the intrinsic-dispatch
-   contribution. *)
+   payloads of [S_bulk]/[S_store] are the mix category and the
+   intrinsic-dispatch contribution. [S_store] is a facade page access:
+   it takes the run's page pool as a parameter instead of capturing it,
+   so compiled code is store-independent — the enclosing segment
+   resolves the pool once at entry (the only run-dependent state) and a
+   warm tier can be shared across facade runs exactly like object-mode
+   tiers. *)
 type step =
   | S_bulk of (st -> Value.t array -> unit) * int * int
+  | S_store of (Pagestore.Page_pool.t -> st -> Value.t array -> unit) * int * int
   | S_self of (st -> Value.t array -> unit)
 
 (* ---------- the instruction templates ---------- *)
@@ -219,7 +247,7 @@ type step =
 let rec compile_instr t (cst : st) mx ~depth bi pc (ins : R.instr) : step =
   let cat = R.category ins in
   let bulk f = S_bulk (f, cat, 0) in
-  let bulk_i f = S_bulk (f, cat, 1) in
+  let bulk_s f = S_store (f, cat, 1) in
   let deleg () = S_self (fun st frame -> t.t_hooks.h_exec st mx frame ins) in
   match ins with
   | R.Rconst (d, v) -> bulk (fun _ f -> fs f d v)
@@ -314,10 +342,9 @@ let rec compile_instr t (cst : st) mx ~depth bi pc (ins : R.instr) : step =
          compile time (path not yet taken) gets a guard against the live
          IC word instead, so it becomes a fast path once the interpreter
          fills it. *)
-      let key = ic.R.ic_key in
-      if key < 0 then
+      if ic.R.ic_key < 0 then
         S_self (mk_virtual_dyn t cst mx bi pc ret mid r args ic ins)
-      else S_self (mk_virtual_ic t cst mx ~depth bi pc ret mid r args key ins)
+      else S_self (mk_virtual_ic t cst mx ~depth bi pc ret mid r args ic ins)
   | R.Rcall_virtual _ -> deleg ()
   (* ---- monitors: the lock-contention deopt trigger. Contended regions
      always run in tier-1; after [deopt_limit] entries the method
@@ -362,62 +389,172 @@ let rec compile_instr t (cst : st) mx ~depth bi pc (ins : R.instr) : step =
   | R.Rget (d, a, p, off) -> (
       match cst.mode with
       | Object_mode -> deleg ()
-      | Facade_mode rt ->
-          let rd = pg_read a in
-          let store = rt.store in
-          bulk_i (fun _ f ->
-              let pg, b = Store.base store (addr_nn (fg f p)) in
-              fs f d (rd pg (b + off))))
+      | Facade_mode _ -> (
+          (* The hot widths get a direct body — the [pg_read]/[pg_write]
+             closure call costs an indirect jump per access, which is
+             most of what separates a compiled facade field access from
+             an object-mode array load. *)
+          match a with
+          | R.A_f64 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  fs f d (Value.Float (Page.read_f64 pg (Addr.offset_nn ad + off))))
+          | R.A_i32 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  fs f d (Value.of_int (Page.read_i32 pg (Addr.offset_nn ad + off))))
+          | R.A_i64 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  fs f d (Value.of_int (Page.read_i64 pg (Addr.offset_nn ad + off))))
+          | _ ->
+              let rd = pg_read a in
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  fs f d (rd pg (Addr.offset_nn ad + off)))))
   | R.Rset (a, p, off, src) -> (
       match cst.mode with
       | Object_mode -> deleg ()
-      | Facade_mode rt ->
-          let wr = pg_write a in
+      | Facade_mode _ -> (
           let src = opfn src in
-          let store = rt.store in
-          bulk_i (fun _ f ->
-              let pg, b = Store.base store (addr_nn (fg f p)) in
-              wr pg (b + off) (src f)))
+          match a with
+          | R.A_f64 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  Page.write_f64 pg (Addr.offset_nn ad + off) (as_float (src f)))
+          | R.A_i32 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  Page.write_i32 pg (Addr.offset_nn ad + off) (as_int (src f)))
+          | R.A_i64 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  Page.write_i64 pg (Addr.offset_nn ad + off) (as_int (src f)))
+          | _ ->
+              let wr = pg_write a in
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  wr pg (Addr.offset_nn ad + off) (src f))))
   | R.Raget (d, a, p, eb, idx) -> (
       match cst.mode with
       | Object_mode -> deleg ()
-      | Facade_mode rt ->
-          let rd = pg_read a in
+      | Facade_mode _ -> (
           let idx = opfn idx in
-          let store = rt.store in
-          bulk_i (fun _ f ->
-              let pg, b = Store.base store (addr_nn (fg f p)) in
-              let i = as_int (idx f) in
-              if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
-                vm_err "ArrayIndexOutOfBoundsException: %d" i;
-              fs f d (rd pg (b + LR.array_header_bytes + (eb * i)))))
+          match a with
+          | R.A_f64 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  fs f d
+                    (Value.Float
+                       (Page.read_f64 pg (b + LR.array_header_bytes + (eb * i)))))
+          | R.A_i32 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  fs f d
+                    (Value.of_int
+                       (Page.read_i32 pg (b + LR.array_header_bytes + (eb * i)))))
+          | R.A_i64 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  fs f d
+                    (Value.of_int
+                       (Page.read_i64 pg (b + LR.array_header_bytes + (eb * i)))))
+          | _ ->
+              let rd = pg_read a in
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  fs f d (rd pg (b + LR.array_header_bytes + (eb * i))))))
   | R.Raset (a, p, eb, idx, src) -> (
       match cst.mode with
       | Object_mode -> deleg ()
-      | Facade_mode rt ->
-          let wr = pg_write a in
+      | Facade_mode _ -> (
           let idx = opfn idx and src = opfn src in
-          let store = rt.store in
-          bulk_i (fun _ f ->
-              let pg, b = Store.base store (addr_nn (fg f p)) in
-              let i = as_int (idx f) in
-              if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
-                vm_err "ArrayIndexOutOfBoundsException: %d" i;
-              wr pg (b + LR.array_header_bytes + (eb * i)) (src f)))
+          match a with
+          | R.A_f64 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  Page.write_f64 pg
+                    (b + LR.array_header_bytes + (eb * i))
+                    (as_float (src f)))
+          | R.A_i32 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  Page.write_i32 pg
+                    (b + LR.array_header_bytes + (eb * i))
+                    (as_int (src f)))
+          | R.A_i64 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  Page.write_i64 pg
+                    (b + LR.array_header_bytes + (eb * i))
+                    (as_int (src f)))
+          | _ ->
+              let wr = pg_write a in
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  wr pg (b + LR.array_header_bytes + (eb * i)) (src f))))
   | R.Rget_bin (d, a, p, off, op, s) -> (
       match cst.mode with
       | Object_mode -> deleg ()
-      | Facade_mode rt -> (
+      | Facade_mode _ -> (
           let s = opfn s in
-          let store = rt.store in
           match a, float_op op with
           | R.A_f64, Some g ->
               (* Unboxed load-op: no intermediate Value for the loaded
                  number; mixed operands fall back to [arith] so error
                  text matches tier-1. *)
-              bulk_i (fun _ f ->
-                  let pg, b = Store.base store (addr_nn (fg f p)) in
-                  let x = Page.read_f64 pg (b + off) in
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let x = Page.read_f64 pg (Addr.offset_nn ad + off) in
                   fs f d
                     (match s f with
                     | Value.Float y -> Value.Float (g x y)
@@ -426,19 +563,21 @@ let rec compile_instr t (cst : st) mx ~depth bi pc (ins : R.instr) : step =
           | _ ->
               let rd = pg_read a in
               let g = bin_fn op in
-              bulk_i (fun _ f ->
-                  let pg, b = Store.base store (addr_nn (fg f p)) in
-                  fs f d (g (rd pg (b + off)) (s f)))))
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  fs f d (g (rd pg (Addr.offset_nn ad + off)) (s f)))))
   | R.Rrmw (a, p, off, op, s) -> (
       match cst.mode with
       | Object_mode -> deleg ()
-      | Facade_mode rt -> (
+      | Facade_mode _ -> (
           let s = opfn s in
-          let store = rt.store in
           match a, float_op op, int_op op with
           | R.A_f64, Some g, _ ->
-              bulk_i (fun _ f ->
-                  let pg, b = Store.base store (addr_nn (fg f p)) in
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
                   let x = Page.read_f64 pg (b + off) in
                   let y =
                     match s f with
@@ -448,8 +587,10 @@ let rec compile_instr t (cst : st) mx ~depth bi pc (ins : R.instr) : step =
                   in
                   Page.write_f64 pg (b + off) y)
           | R.A_i64, _, Some g ->
-              bulk_i (fun _ f ->
-                  let pg, b = Store.base store (addr_nn (fg f p)) in
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
                   let x = Page.read_i64 pg (b + off) in
                   let y =
                     match s f with
@@ -460,41 +601,83 @@ let rec compile_instr t (cst : st) mx ~depth bi pc (ins : R.instr) : step =
           | _ ->
               let rd = pg_read a and wr = pg_write a in
               let g = bin_fn op in
-              bulk_i (fun _ f ->
-                  let pg, b = Store.base store (addr_nn (fg f p)) in
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f p) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
                   wr pg (b + off) (g (rd pg (b + off)) (s f)))))
   | R.Raget_get (d, arr, eb, idx, a, off) -> (
       match cst.mode with
       | Object_mode -> deleg ()
-      | Facade_mode rt ->
-          let rd = pg_read a in
+      | Facade_mode _ -> (
           let idx = opfn idx in
-          let store = rt.store in
-          bulk_i (fun _ f ->
-              let pg, b = Store.base store (addr_nn (fg f arr)) in
-              let i = as_int (idx f) in
-              if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
-                vm_err "ArrayIndexOutOfBoundsException: %d" i;
-              let w = Page.read_i64 pg (b + LR.array_header_bytes + (eb * i)) in
-              let pg2, b2 = Store.base store (addr_nn (Value.Int w)) in
-              fs f d (rd pg2 (b2 + off))))
+          match a with
+          | R.A_f64 ->
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f arr) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  let w = Page.read_i64 pg (b + LR.array_header_bytes + (eb * i)) in
+                  let ad2 = addr_nn (Value.Int w) in
+                  let pg2 = Store.page_in pool ad2 in
+                  fs f d (Value.Float (Page.read_f64 pg2 (Addr.offset_nn ad2 + off))))
+          | _ ->
+              let rd = pg_read a in
+              bulk_s (fun pool _ f ->
+                  let ad = addr_nn (fg f arr) in
+                  let pg = Store.page_in pool ad in
+                  let b = Addr.offset_nn ad in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg (b + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  let w = Page.read_i64 pg (b + LR.array_header_bytes + (eb * i)) in
+                  let ad2 = addr_nn (Value.Int w) in
+                  let pg2 = Store.page_in pool ad2 in
+                  fs f d (rd pg2 (Addr.offset_nn ad2 + off)))))
   | R.Raget_aget (d, a, arr1, eb1, idx, arr2, eb2) -> (
       match cst.mode with
       | Object_mode -> deleg ()
-      | Facade_mode rt ->
-          let rd = pg_read a in
+      | Facade_mode _ -> (
           let idx = opfn idx in
-          let store = rt.store in
-          bulk_i (fun _ f ->
-              let pg1, b1 = Store.base store (addr_nn (fg f arr1)) in
-              let i = as_int (idx f) in
-              if i < 0 || i >= Page.read_i32 pg1 (b1 + LR.length_offset) then
-                vm_err "ArrayIndexOutOfBoundsException: %d" i;
-              let j = Page.read_i32 pg1 (b1 + LR.array_header_bytes + (eb1 * i)) in
-              let pg2, b2 = Store.base store (addr_nn (fg f arr2)) in
-              if j < 0 || j >= Page.read_i32 pg2 (b2 + LR.length_offset) then
-                vm_err "ArrayIndexOutOfBoundsException: %d" j;
-              fs f d (rd pg2 (b2 + LR.array_header_bytes + (eb2 * j)))))
+          match a with
+          | R.A_i64 ->
+              (* The ref-chasing shape ([edges[k]] indexing [verts]) is
+                 the hottest superinstruction on the graph workloads. *)
+              bulk_s (fun pool _ f ->
+                  let ad1 = addr_nn (fg f arr1) in
+                  let pg1 = Store.page_in pool ad1 in
+                  let b1 = Addr.offset_nn ad1 in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg1 (b1 + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  let j = Page.read_i32 pg1 (b1 + LR.array_header_bytes + (eb1 * i)) in
+                  let ad2 = addr_nn (fg f arr2) in
+                  let pg2 = Store.page_in pool ad2 in
+                  let b2 = Addr.offset_nn ad2 in
+                  if j < 0 || j >= Page.read_i32 pg2 (b2 + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" j;
+                  fs f d
+                    (Value.of_int
+                       (Page.read_i64 pg2 (b2 + LR.array_header_bytes + (eb2 * j)))))
+          | _ ->
+              let rd = pg_read a in
+              bulk_s (fun pool _ f ->
+                  let ad1 = addr_nn (fg f arr1) in
+                  let pg1 = Store.page_in pool ad1 in
+                  let b1 = Addr.offset_nn ad1 in
+                  let i = as_int (idx f) in
+                  if i < 0 || i >= Page.read_i32 pg1 (b1 + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" i;
+                  let j = Page.read_i32 pg1 (b1 + LR.array_header_bytes + (eb1 * i)) in
+                  let ad2 = addr_nn (fg f arr2) in
+                  let pg2 = Store.page_in pool ad2 in
+                  let b2 = Addr.offset_nn ad2 in
+                  if j < 0 || j >= Page.read_i32 pg2 (b2 + LR.length_offset) then
+                    vm_err "ArrayIndexOutOfBoundsException: %d" j;
+                  fs f d (rd pg2 (b2 + LR.array_header_bytes + (eb2 * j))))))
   (* ---- everything stateful or rare runs through the interpreter,
      which self-accounts ---- *)
   | R.Riter_start | R.Riter_end | R.Rrun_thread _ | R.Rintrinsic _ | R.Rerror _ ->
@@ -521,8 +704,13 @@ and mk_call t (cst : st) ~depth bi pc cat ret midx recv args =
 (* Devirtualized call through a warm IC snapshot: the guard re-derives
    the receiver's class and compares it to the cached one. On a miss,
    CHA-monomorphic names delegate the single dispatch to the interpreter
-   (the target cannot differ); polymorphic receivers deoptimize. *)
-and mk_virtual_ic t (cst : st) mx ~depth bi pc ret mid r args key ins =
+   (the target cannot differ); polymorphic receivers deoptimize. Either
+   way, a *drifted* live cache word — the interpreter re-warmed the site
+   on a different receiver since this snapshot was taken — triggers one
+   bounded re-snapshot recompile, so a method whose sites merely warmed
+   up late is not stuck delegating (or deopting) forever. *)
+and mk_virtual_ic t (cst : st) mx ~depth bi pc ret mid r args (ic : R.ic) ins =
+  let key = ic.R.ic_key in
   let cid0 = key lsr 20 in
   let midx0 = key land R.ic_payload_mask in
   let m0 = cst.rp.R.methods.(midx0) in
@@ -552,8 +740,12 @@ and mk_virtual_ic t (cst : st) mx ~depth bi pc ret mid r args key ins =
       Array.iteri (fun i s -> f.(i + 1) <- frame.(s)) args;
       store_ret frame ret (target st f)
     end
-    else if mono then t.t_hooks.h_exec st mx frame ins
-    else raise (Tier_deopt (bi, pc, "polymorphic"))
+    else begin
+      if (not t.t_recompiled.(mx)) && ic.R.ic_key >= 0 && ic.R.ic_key <> key
+      then recompile t st mx;
+      if mono then t.t_hooks.h_exec st mx frame ins
+      else raise (Tier_deopt (bi, pc, "polymorphic"))
+    end
 
 (* Virtual call whose cache was cold at compile time: guard against the
    live IC word each execution. The first execution delegates (the
@@ -634,18 +826,24 @@ and compile_block t (cst : st) mx ~depth bi (b : R.block) : st -> Value.t array 
     | [] -> ()
     | g ->
         let items = Array.of_list (List.rev g) in
-        let fns = Array.map (fun (f, _, _) -> f) items in
-        let k = Array.length fns in
+        let k = Array.length items in
         let start_pc = !group_start in
         let mixd = Array.make (Array.length Exec_stats.mix_labels) 0 in
-        Array.iter (fun (_, c, _) -> mixd.(c) <- mixd.(c) + 1) items;
-        let intr = Array.fold_left (fun a (_, _, i) -> a + i) 0 items in
+        let intr = ref 0 in
+        Array.iter
+          (function
+            | S_bulk (_, c, i) | S_store (_, c, i) ->
+                mixd.(c) <- mixd.(c) + 1;
+                intr := !intr + i
+            | S_self _ -> assert false)
+          items;
+        let intr = !intr in
         let mixp = ref [] in
         Array.iteri (fun c cnt -> if cnt > 0 then mixp := (c, cnt) :: !mixp) mixd;
         let mcats = Array.of_list (List.map fst !mixp) in
         let mcnts = Array.of_list (List.map snd !mixp) in
         let nm = Array.length mcats in
-        let act st frame =
+        let charge st =
           let stats = st.stats in
           if stats.Exec_stats.steps + k > st.max_steps then
             raise (Tier_deopt (bi, start_pc, "budget"));
@@ -657,10 +855,41 @@ and compile_block t (cst : st) mx ~depth bi (b : R.block) : st -> Value.t array 
           done;
           if intr > 0 then
             stats.Exec_stats.intrinsic_dispatches <-
-              stats.Exec_stats.intrinsic_dispatches + intr;
-          for i = 0 to k - 1 do
-            (Array.unsafe_get fns i) st frame
-          done
+              stats.Exec_stats.intrinsic_dispatches + intr
+        in
+        let act =
+          if Array.exists (function S_store _ -> true | _ -> false) items then begin
+            (* Facade segment: resolve the run's page pool once at
+               segment entry — the only run-dependent state compiled
+               code touches — and thread it through the fused
+               accessors. Plain steps in the segment ignore it. *)
+            let fns =
+              Array.map
+                (function
+                  | S_store (f, _, _) -> f
+                  | S_bulk (f, _, _) -> fun _ st frame -> f st frame
+                  | S_self _ -> assert false)
+                items
+            in
+            fun st frame ->
+              charge st;
+              let pool = Store.pool (the_rt st).store in
+              for i = 0 to k - 1 do
+                (Array.unsafe_get fns i) pool st frame
+              done
+          end
+          else
+            let fns =
+              Array.map
+                (function
+                  | S_bulk (f, _, _) -> f | S_store _ | S_self _ -> assert false)
+                items
+            in
+            fun st frame ->
+              charge st;
+              for i = 0 to k - 1 do
+                (Array.unsafe_get fns i) st frame
+              done
         in
         acts := act :: !acts;
         group := []
@@ -668,9 +897,9 @@ and compile_block t (cst : st) mx ~depth bi (b : R.block) : st -> Value.t array 
   Array.iteri
     (fun pc s ->
       match s with
-      | S_bulk (f, c, i) ->
+      | S_bulk _ | S_store _ ->
           if !group = [] then group_start := pc;
-          group := (f, c, i) :: !group
+          group := s :: !group
       | S_self f ->
           flush ();
           acts := f :: !acts)
@@ -691,6 +920,32 @@ and compile_block t (cst : st) mx ~depth bi (b : R.block) : st -> Value.t array 
           actions.(i) st frame
         done;
         term st frame
+
+(* IC drift: a live cache word at a compiled monomorphic site no longer
+   matches the snapshot its guard was specialized against. Re-read every
+   live IC word and compile once more — bounded by [t_recompiled], so a
+   site that keeps flapping settles into the delegate/deopt policy
+   instead of recompiling forever. OSR variants are left stale on
+   purpose: their drifted sites keep delegating the single dispatch,
+   which stays correct, and the entry code (which dominates steady
+   state) is what the fresh snapshot speeds up. *)
+and recompile t (cst : st) mx =
+  t.t_recompiled.(mx) <- true;
+  let m = cst.rp.R.methods.(mx) in
+  let trace = Obs.Trace.on () in
+  if trace then Obs.Trace.span_begin ~cat:"vm" "tier2_compile";
+  let blocks = compile_meth t cst mx m ~depth:0 in
+  cst.stats.Exec_stats.tier2_recompiles <-
+    cst.stats.Exec_stats.tier2_recompiles + 1;
+  if trace then
+    Obs.Trace.span_end
+      ~args:
+        [
+          ("method", Obs.Tracer.Astr (m.R.m_cls ^ "." ^ m.R.m_name));
+          ("recompile", Obs.Tracer.Aint 1);
+        ]
+      ();
+  t.t_code.(mx) <- T_fn (wrap_blocks t mx blocks 0)
 
 (* ---------- installation ---------- *)
 
@@ -716,16 +971,44 @@ let compile_into (t : tier) (cst : st) mx =
           Obs.Trace.span_end
             ~args:[ ("method", Obs.Tracer.Astr (m.R.m_cls ^ "." ^ m.R.m_name)) ]
             ();
-        let fn st frame =
-          try run_blocks st blocks frame
-          with Tier_deopt (dbi, dpc, reason) ->
-            st.stats.Exec_stats.tier2_deopts <- st.stats.Exec_stats.tier2_deopts + 1;
-            t.t_fail.(mx) <- t.t_fail.(mx) + 1;
-            if t.t_fail.(mx) >= deopt_limit then t.t_code.(mx) <- T_dead;
-            note_deopt reason;
-            t.t_hooks.h_resume st mx frame dbi dpc
-        in
-        t.t_code.(mx) <- T_fn fn
+        t.t_code.(mx) <- T_fn (wrap_blocks t mx blocks 0)
+      end
+
+(* On-stack replacement: compile a loop-entry variant keyed on back-edge
+   target [hdr] — the interpreter transfers its live frame to it at the
+   loop header, mid-call. One [compile_meth] serves both entries: the
+   same composed blocks run from block [hdr] for the OSR transfer and
+   from block 0 for subsequent calls, so the method that tiered up
+   mid-call is also warm for its next invocation (and the two share
+   [t_fail] and the deopt round-trip). Racing domains are benign for the
+   same reason as [compile_into]. *)
+let compile_osr (t : tier) (cst : st) mx hdr =
+  match t.t_osr_code.(mx).(hdr) with
+  | T_fn _ | T_dead -> ()
+  | T_cold ->
+      let m = cst.rp.R.methods.(mx) in
+      if Array.length m.R.m_body = 0 || R.instr_count m > compile_limit then begin
+        t.t_osr_code.(mx).(hdr) <- T_dead;
+        t.t_code.(mx) <- T_dead
+      end
+      else begin
+        let trace = Obs.Trace.on () in
+        if trace then Obs.Trace.span_begin ~cat:"vm" "tier2_compile";
+        let blocks = compile_meth t cst mx m ~depth:0 in
+        cst.stats.Exec_stats.tier2_compiles <-
+          cst.stats.Exec_stats.tier2_compiles + 1;
+        if trace then
+          Obs.Trace.span_end
+            ~args:
+              [
+                ("method", Obs.Tracer.Astr (m.R.m_cls ^ "." ^ m.R.m_name));
+                ("osr_block", Obs.Tracer.Aint hdr);
+              ]
+            ();
+        t.t_osr_code.(mx).(hdr) <- T_fn (wrap_blocks t mx blocks hdr);
+        match t.t_code.(mx) with
+        | T_cold -> t.t_code.(mx) <- T_fn (wrap_blocks t mx blocks 0)
+        | T_fn _ | T_dead -> ()
       end
 
 (* ---------- tier construction ---------- *)
@@ -742,7 +1025,8 @@ let is_leaf (m : R.meth) ~budget =
   && R.instr_count m <= budget
   && Array.for_all leaf_safe_instr m.R.m_body.(0).R.code
 
-let make ?(hot = 8) ?(feedback = no_feedback) ~hooks (rp : R.program) : tier =
+let make ?(hot = 8) ?(feedback = no_feedback) ?(osr = true) ~hooks
+    (rp : R.program) : tier =
   let nm = Array.length rp.R.methods in
   let nn = Array.length rp.R.method_names in
   (* CHA over the linked vtables: a method-name id with exactly one
@@ -787,6 +1071,26 @@ let make ?(hot = 8) ?(feedback = no_feedback) ~hooks (rp : R.program) : tier =
         is_leaf m ~budget)
       rp.R.methods
   in
+  (* OSR slots: a counter and a code cell per loop header (back-edge
+     target), only for methods that could compile at all. Methods with
+     no slots — and every method when OSR is off — keep the zero-length
+     arrays, which the interpreter's back-edge probe rejects with a
+     single length check. *)
+  let t_osr_code = Array.make nm [||] in
+  let t_osr_calls = Array.make nm [||] in
+  if osr then
+    Array.iteri
+      (fun mx (m : R.meth) ->
+        let nb = Array.length m.R.m_body in
+        if nb > 0 && R.instr_count m <= compile_limit then begin
+          let hdrs = Quicken.loop_headers m in
+          if Array.exists Fun.id hdrs then begin
+            t_osr_code.(mx) <-
+              Array.init nb (fun bi -> if hdrs.(bi) then T_cold else T_dead);
+            t_osr_calls.(mx) <- Array.make nb 0
+          end
+        end)
+      rp.R.methods;
   {
     t_code = Array.make nm T_cold;
     t_calls = Array.make nm 0;
@@ -795,4 +1099,8 @@ let make ?(hot = 8) ?(feedback = no_feedback) ~hooks (rp : R.program) : tier =
     t_hooks = hooks;
     t_leaves;
     t_mono;
+    t_osr_code;
+    t_osr_calls;
+    t_osr_threshold = max 1 (hot * 16);
+    t_recompiled = Array.make nm false;
   }

@@ -40,13 +40,18 @@ val deopt_limit : int
 val make :
   ?hot:int ->
   ?feedback:feedback ->
+  ?osr:bool ->
   hooks:Vm_state.hooks ->
   Resolved.program ->
   Vm_state.tier
 (** Build the tier state for a linked program: per-method code slots
-    (all cold), trigger counters, the vtable-scan CHA table, and the
-    leaf-inlining candidates. [hot] (default 8) is the call count at
-    which {!Interp} compiles a method. *)
+    (all cold), trigger counters, the vtable-scan CHA table, the
+    leaf-inlining candidates, and one OSR counter/code slot per loop
+    header. [hot] (default 8) is the call count at which {!Interp}
+    compiles a method; back edges tier up at [16 * hot] trips. [osr]
+    (default [true]) allocates the back-edge slots; without them the
+    interpreter's back-edge probe is a single length check that always
+    fails, so [--no-osr] runs carry no counting overhead. *)
 
 val compile_into : Vm_state.tier -> Vm_state.st -> int -> unit
 (** [compile_into t st mx] compiles method [mx] and installs it as
@@ -55,3 +60,11 @@ val compile_into : Vm_state.tier -> Vm_state.st -> int -> unit
     compiled code is semantically identical to the interpreter, so
     correctness never depends on when — or whether — compilation
     happens. *)
+
+val compile_osr : Vm_state.tier -> Vm_state.st -> int -> int -> unit
+(** [compile_osr t st mx hdr] compiles a loop-entry variant of method
+    [mx] keyed on the back-edge target block [hdr] and installs it in
+    the tier's OSR slot; the normal entry closure is installed as a
+    by-product (one compilation serves both), so a method that tiers up
+    mid-call is also warm for its next invocation. No-op if the slot is
+    already filled or retired. *)

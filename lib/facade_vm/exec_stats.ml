@@ -45,6 +45,8 @@ type t = {
   mutable tier2_compiles : int;
   mutable tier2_entries : int;
   mutable tier2_deopts : int;
+  mutable tier2_recompiles : int;
+  mutable osr_entries : int;
 }
 
 let create () =
@@ -68,6 +70,8 @@ let create () =
     tier2_compiles = 0;
     tier2_entries = 0;
     tier2_deopts = 0;
+    tier2_recompiles = 0;
+    osr_entries = 0;
   }
 
 let grow a n = if Array.length a >= n then a else Array.append a (Array.make (n - Array.length a) 0)
@@ -123,7 +127,9 @@ let zero t =
   Array.fill t.m_ic_misses 0 (Array.length t.m_ic_misses) 0;
   t.tier2_compiles <- 0;
   t.tier2_entries <- 0;
-  t.tier2_deopts <- 0
+  t.tier2_deopts <- 0;
+  t.tier2_recompiles <- 0;
+  t.osr_entries <- 0
 
 let copy t =
   {
@@ -169,7 +175,9 @@ let merge dst src =
   Array.iteri (fun i n -> dst.m_ic_misses.(i) <- dst.m_ic_misses.(i) + n) src.m_ic_misses;
   dst.tier2_compiles <- dst.tier2_compiles + src.tier2_compiles;
   dst.tier2_entries <- dst.tier2_entries + src.tier2_entries;
-  dst.tier2_deopts <- dst.tier2_deopts + src.tier2_deopts
+  dst.tier2_deopts <- dst.tier2_deopts + src.tier2_deopts;
+  dst.tier2_recompiles <- dst.tier2_recompiles + src.tier2_recompiles;
+  dst.osr_entries <- dst.osr_entries + src.osr_entries
 
 let output_lines t = List.rev t.output
 

@@ -43,6 +43,10 @@ type t = {
   mutable tier2_compiles : int;      (** methods compiled to tier-2 closures *)
   mutable tier2_entries : int;       (** calls entering tier-2 code *)
   mutable tier2_deopts : int;        (** guard failures falling back to tier-1 *)
+  mutable tier2_recompiles : int;
+      (** bounded re-compilations after inline-cache drift *)
+  mutable osr_entries : int;
+      (** on-stack replacements: hot loops entered mid-call at a header *)
 }
 
 val create : unit -> t

@@ -199,10 +199,10 @@ let rec convert_to st rt (visited : (int, Value.t) Hashtbl.t) (ai : int) : Value
 
 and read_slot st rt visited addr ~offset ~jty =
   match jty with
-  | Jtype.Prim (Jtype.Bool | Jtype.Byte) -> Value.Int (Store.get_i8 rt.store addr ~offset)
-  | Jtype.Prim (Jtype.Char | Jtype.Short) -> Value.Int (Store.get_i16 rt.store addr ~offset)
-  | Jtype.Prim Jtype.Int -> Value.Int (Store.get_i32 rt.store addr ~offset)
-  | Jtype.Prim Jtype.Long -> Value.Int (Store.get_i64 rt.store addr ~offset)
+  | Jtype.Prim (Jtype.Bool | Jtype.Byte) -> Value.of_int (Store.get_i8 rt.store addr ~offset)
+  | Jtype.Prim (Jtype.Char | Jtype.Short) -> Value.of_int (Store.get_i16 rt.store addr ~offset)
+  | Jtype.Prim Jtype.Int -> Value.of_int (Store.get_i32 rt.store addr ~offset)
+  | Jtype.Prim Jtype.Long -> Value.of_int (Store.get_i64 rt.store addr ~offset)
   | Jtype.Prim Jtype.Float -> Value.Float (Store.get_f32 rt.store addr ~offset)
   | Jtype.Prim Jtype.Double -> Value.Float (Store.get_f64 rt.store addr ~offset)
   | Jtype.Ref _ | Jtype.Array _ ->
@@ -226,12 +226,64 @@ let rec run_body_from st mx (m : R.meth) (frame : Value.t array) bi0 pc0 :
     match b.R.term with
     | R.Rret_void -> None
     | R.Rret s -> Some frame.(s)
-    | R.Rjump t -> go t 0
-    | R.Rbranch (s, t, e) -> go (if Value.truthy frame.(s) then t else e) 0
+    | R.Rjump t -> branch bi t
+    | R.Rbranch (s, t, e) -> branch bi (if Value.truthy frame.(s) then t else e)
     | R.Rcmp_branch (op, x, y, t, e) ->
-        go (if Value.truthy (arith op (operand frame x) (operand frame y)) then t else e) 0
+        branch bi
+          (if Value.truthy (arith op (operand frame x) (operand frame y)) then t
+           else e)
+  and branch bi t =
+    (* Taken back edges probe for on-stack replacement; the probe either
+       finishes the call in compiled code or declines. Forward edges pay
+       one comparison. *)
+    if t <= bi then
+      match osr_probe st mx frame t with Some r -> r | None -> go t 0
+    else go t 0
   in
   go bi0 pc0
+
+(* The back-edge counter and tier-up point for on-stack replacement: a
+   hot loop in a method that is still cold (not called often enough to
+   compile, or mid-way through its very first call) compiles after
+   [t_osr_threshold] trips and enters the closure at the loop header, on
+   the live tier-1 frame — both tiers run the same slot-indexed frame
+   and block structure, so the transfer state is exactly the deopt state
+   in reverse, and a deopt inside the OSR'd loop resumes tier-1 here bit
+   for bit. Returns [Some result] when the rest of the call ran
+   compiled, [None] to keep interpreting. Methods already compiled (the
+   interpreter is then in a deopt resume — re-entering compiled code
+   could bounce) or retired never probe; with OSR off every method has
+   zero-length counter arrays and the probe is one length check. *)
+and osr_probe st mx (frame : Value.t array) tgt : Value.t option option =
+  match st.tier with
+  | None -> None
+  | Some t ->
+      let counts = t.t_osr_calls.(mx) in
+      if Array.length counts = 0 then None
+      else begin
+        match t.t_code.(mx) with
+        | T_fn _ | T_dead -> None
+        | T_cold ->
+            (* Racy cross-domain increments only delay the trigger. *)
+            let n = counts.(tgt) + 1 in
+            counts.(tgt) <- n;
+            if n < t.t_osr_threshold then None
+            else begin
+              (match t.t_osr_code.(mx).(tgt) with
+              | T_cold -> Compile_tier.compile_osr t st mx tgt
+              | T_fn _ | T_dead -> ());
+              match t.t_osr_code.(mx).(tgt) with
+              | T_fn f ->
+                  st.stats.Exec_stats.osr_entries <-
+                    st.stats.Exec_stats.osr_entries + 1;
+                  if Obs.Trace.on () then
+                    Obs.Trace.instant ~cat:"vm"
+                      ~args:[ ("block", Obs.Tracer.Aint tgt) ]
+                      "osr_enter";
+                  Some (f st frame)
+              | T_cold | T_dead -> None
+            end
+      end
 
 and run_body st mx m frame = run_body_from st mx m frame 0 0
 
@@ -951,7 +1003,8 @@ let run_entry st ~entry_args =
   List.iteri (fun i a -> f.(i + 1) <- a) entry_args;
   (* The entry method is called exactly once, so no call-count threshold
      would ever trip for it; compile it eagerly so main-loop-in-entry
-     workloads still run in tier 2 (there is no on-stack replacement). *)
+     workloads run in tier 2 from the first step instead of waiting for
+     the back-edge (OSR) counters to warm up. *)
   (match st.tier with
   | Some t -> Compile_tier.compile_into t st st.rp.R.entry
   | None -> ());
@@ -986,17 +1039,21 @@ let make_st ?par ?(io_scale = 0.0) rp mode heap max_steps thread =
     tret = Value.Null;
   }
 
-let setup_tier st ~tier2 ~tier2_hot ~tier2_feedback =
+let setup_tier st ~tier2 ~tier2_hot ~tier2_feedback ~osr =
   if tier2 then
-    st.tier <- Some (Compile_tier.make ~hot:tier2_hot ?feedback:tier2_feedback ~hooks st.rp)
+    st.tier <-
+      Some
+        (Compile_tier.make ~hot:tier2_hot ?feedback:tier2_feedback ~osr ~hooks
+           st.rp)
 
-(* A tier detached from any run, for reuse across object-mode runs of the
-   same linked program: compiled closures thread all per-run state through
-   their [st] argument, so warm code (and call counts) carry over exactly
-   like the quickened inline-cache words already do in a shared [rp].
-   Facade-mode templates capture the run's page store at compile time, so
-   a tier must NOT be shared across facade runs. *)
-let make_tier ?(hot = 8) ?feedback rp = Compile_tier.make ~hot ?feedback ~hooks rp
+(* A tier detached from any run, for reuse across runs of the same linked
+   program: compiled closures thread all per-run state through their [st]
+   argument — facade page accesses resolve the run's page pool at segment
+   entry instead of capturing a store — so warm code (and call counts)
+   carry over exactly like the quickened inline-cache words already do in
+   a shared [rp], in facade mode as well as object mode. *)
+let make_tier ?(hot = 8) ?feedback ?(osr = true) rp =
+  Compile_tier.make ~hot ?feedback ~osr ~hooks rp
 
 (* Intern every string constant the linker collected, before execution
    starts: afterwards the frozen tables are read-only, so the hot path
@@ -1022,22 +1079,24 @@ let pre_intern_strings st rt =
           st.rp.R.string_consts
 
 let run_object_linked ?heap ?(max_steps = default_max_steps) ?(entry_args = [])
-    ?(tier2 = false) ?(tier2_hot = 8) ?tier2_feedback ?tier rp =
+    ?(tier2 = false) ?(tier2_hot = 8) ?tier2_feedback ?(osr = true) ?tier rp =
   let st = make_st rp Object_mode heap max_steps 0 in
   (match tier with
   | Some t -> st.tier <- Some t
-  | None -> setup_tier st ~tier2 ~tier2_hot ~tier2_feedback);
+  | None -> setup_tier st ~tier2 ~tier2_hot ~tier2_feedback ~osr);
   run_entry st ~entry_args
 
 let run_object ?heap ?(is_data = fun _ -> false) ?(max_steps = default_max_steps)
     ?(entry_args = []) ?(quicken = false) ?(tier2 = false) ?(tier2_hot = 8) ?tier2_feedback
-    p =
+    ?(osr = true) p =
   run_object_linked ?heap ~max_steps ~entry_args ~tier2 ~tier2_hot ?tier2_feedback
+    ~osr
     (Link.object_program ~is_data ~quicken p)
 
 let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
     ?(io_scale = 0.0) ?(entry_args = []) ?(quicken = false) ?(tier2 = false)
-    ?(tier2_hot = 8) ?tier2_feedback (pl : Facade_compiler.Pipeline.t) =
+    ?(tier2_hot = 8) ?tier2_feedback ?(osr = true) ?tier
+    (pl : Facade_compiler.Pipeline.t) =
   let rp = Link.facade_program ~quicken pl in
   let store = Store.create ?page_bytes () in
   let thread = 0 in
@@ -1073,7 +1132,12 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
           }
   in
   let st = make_st ?par ~io_scale rp (Facade_mode rt) heap max_steps thread in
-  setup_tier st ~tier2 ~tier2_hot ~tier2_feedback;
+  (* Tier-2 facade code is store-independent (every page access resolves
+     the pool through [st]), so a pre-built warm tier from {!make_tier}
+     is as sound here as in object mode. *)
+  (match tier with
+  | Some t -> st.tier <- Some t
+  | None -> setup_tier st ~tier2 ~tier2_hot ~tier2_feedback ~osr);
   (* The facade pools themselves are heap objects — the paper's O(t·n). *)
   (match heap with
   | Some h ->

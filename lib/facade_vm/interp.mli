@@ -46,6 +46,7 @@ val run_object :
   ?tier2:bool ->
   ?tier2_hot:int ->
   ?tier2_feedback:Compile_tier.feedback ->
+  ?osr:bool ->
   Jir.Program.t ->
   outcome
 (** Execute a program's entry point in object mode. [max_steps] defaults
@@ -61,7 +62,14 @@ val run_object :
     deoptimization back to the interpreter. Observable behaviour —
     results, output, step counts, instruction mix, heap totals — is
     identical to tier 1. [tier2_feedback] forwards the opt pipeline's
-    CHA/inlining facts to widen what compiles. *)
+    CHA/inlining facts to widen what compiles.
+
+    [osr] (default [true]) enables on-stack replacement under [tier2]: a
+    loop whose back edge trips [16 * tier2_hot] times inside a method
+    that is still cold compiles a loop-entry variant and the interpreter
+    transfers its live frame to it at the loop header, mid-call.
+    Behaviour is identical either way; [~osr:false] removes even the
+    back-edge counting. *)
 
 val run_object_linked :
   ?heap:Heapsim.Heap.t ->
@@ -70,6 +78,7 @@ val run_object_linked :
   ?tier2:bool ->
   ?tier2_hot:int ->
   ?tier2_feedback:Compile_tier.feedback ->
+  ?osr:bool ->
   ?tier:Vm_state.tier ->
   Resolved.program ->
   outcome
@@ -85,11 +94,17 @@ val run_object_linked :
     must have been built for this same [rp]. *)
 
 val make_tier :
-  ?hot:int -> ?feedback:Compile_tier.feedback -> Resolved.program -> Vm_state.tier
+  ?hot:int ->
+  ?feedback:Compile_tier.feedback ->
+  ?osr:bool ->
+  Resolved.program ->
+  Vm_state.tier
 (** A tier-2 state detached from any single run, for
-    {!run_object_linked}'s [?tier]. Object mode only: facade-mode
-    compiled code captures the run's page store, so sharing a tier
-    across facade runs is unsound. *)
+    {!run_object_linked}'s and {!run_facade}'s [?tier]. Compiled code —
+    facade page accesses included — threads every piece of per-run state
+    through its [st] argument, so one warm tier is sound across runs in
+    either mode; the tier must have been built for the same linked
+    program the runs execute. *)
 
 val run_facade :
   ?heap:Heapsim.Heap.t ->
@@ -102,6 +117,8 @@ val run_facade :
   ?tier2:bool ->
   ?tier2_hot:int ->
   ?tier2_feedback:Compile_tier.feedback ->
+  ?osr:bool ->
+  ?tier:Vm_state.tier ->
   Facade_compiler.Pipeline.t ->
   outcome
 (** Execute a compiled pipeline's transformed program in facade mode.
@@ -133,7 +150,11 @@ val run_facade :
     domains — the same mechanism (and typical scale, [5e-3]) the
     graphchi/hyracks/gps engines use for their scalability curves.
 
-    [tier2]/[tier2_hot]/[tier2_feedback] are as for {!run_object}; the
-    tier state is shared across worker domains (racing compilations are
-    benign) and each logical thread takes the compiled code when its own
-    dispatch reaches it. *)
+    [tier2]/[tier2_hot]/[tier2_feedback]/[osr] are as for {!run_object};
+    the tier state is shared across worker domains (racing compilations
+    are benign) and each logical thread takes the compiled code when its
+    own dispatch reaches it. [?tier] attaches a pre-built tier from
+    {!make_tier} (overriding the other tier-2 options), sound since
+    facade-mode compiled code stopped capturing the run's page store:
+    warm services pay compilation once, and a second run of the same
+    linked pipeline performs zero compilations. *)

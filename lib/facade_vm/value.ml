@@ -20,6 +20,16 @@ and t =
   | Arr of arr
   | Facade of Pagestore.Facade_pool.facade
 
+(* Integer loads from the page store must box a fresh [Int] where object
+   mode hands back the already-boxed element, so the facade data path
+   re-allocates on every load of a counter, index, or length. Small
+   non-negative ints — the overwhelming majority of those loads — share
+   one preallocated block instead. *)
+let small_ints = Array.init 65536 (fun i -> Int i)
+
+let[@inline always] of_int i =
+  if i land -65536 = 0 then Array.unsafe_get small_ints i else Int i
+
 let default_of = function
   | Jir.Jtype.Prim (Jir.Jtype.Float | Jir.Jtype.Double) -> Float 0.0
   | Jir.Jtype.Prim _ -> Int 0

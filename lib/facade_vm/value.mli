@@ -29,6 +29,12 @@ and t =
   | Arr of arr
   | Facade of Pagestore.Facade_pool.facade
 
+val of_int : int -> t
+(** [Int i], sharing one preallocated block for small non-negative [i].
+    The facade data path boxes an [Int] on every integer load from a
+    page (object mode returns the element's existing box), so the hot
+    loaders route through this instead of the constructor. *)
+
 val default_of : Jir.Jtype.t -> t
 (** Java default value of a field/element of the given type. *)
 

@@ -125,6 +125,15 @@ and tier = {
   t_hooks : hooks;
   t_leaves : bool array;    (* method idx: inlinable leaf body *)
   t_mono : bool array;      (* method-name id: single implementation (CHA) *)
+  (* On-stack replacement: per method, a slot per block that is a loop
+     header (back-edge target), or [||] when the method has none — or
+     when OSR is disabled, which makes the interpreter's back-edge probe
+     a single bounds check. Entry closures run the method from the
+     header on the live tier-1 frame and share [tcode]'s protocol. *)
+  t_osr_code : tcode array array;
+  t_osr_calls : int array array;  (* back-edge trips per loop header *)
+  t_osr_threshold : int;          (* trips before compiling a loop entry *)
+  t_recompiled : bool array;      (* method idx: IC-drift recompile spent *)
 }
 
 and tcode =
@@ -267,18 +276,18 @@ let alloc_arr st (na : R.newarr) len =
 
 let rec arith op a b =
   match op, a, b with
-  | Ir.Add, Value.Int x, Value.Int y -> Value.Int (x + y)
-  | Ir.Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
-  | Ir.Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+  | Ir.Add, Value.Int x, Value.Int y -> Value.of_int (x + y)
+  | Ir.Sub, Value.Int x, Value.Int y -> Value.of_int (x - y)
+  | Ir.Mul, Value.Int x, Value.Int y -> Value.of_int (x * y)
   | Ir.Div, Value.Int _, Value.Int 0 -> vm_err "ArithmeticException: / by zero"
-  | Ir.Div, Value.Int x, Value.Int y -> Value.Int (x / y)
+  | Ir.Div, Value.Int x, Value.Int y -> Value.of_int (x / y)
   | Ir.Rem, Value.Int _, Value.Int 0 -> vm_err "ArithmeticException: %% by zero"
-  | Ir.Rem, Value.Int x, Value.Int y -> Value.Int (x mod y)
-  | Ir.And, Value.Int x, Value.Int y -> Value.Int (x land y)
-  | Ir.Or, Value.Int x, Value.Int y -> Value.Int (x lor y)
-  | Ir.Xor, Value.Int x, Value.Int y -> Value.Int (x lxor y)
-  | Ir.Shl, Value.Int x, Value.Int y -> Value.Int (x lsl y)
-  | Ir.Shr, Value.Int x, Value.Int y -> Value.Int (x asr y)
+  | Ir.Rem, Value.Int x, Value.Int y -> Value.of_int (x mod y)
+  | Ir.And, Value.Int x, Value.Int y -> Value.of_int (x land y)
+  | Ir.Or, Value.Int x, Value.Int y -> Value.of_int (x lor y)
+  | Ir.Xor, Value.Int x, Value.Int y -> Value.of_int (x lxor y)
+  | Ir.Shl, Value.Int x, Value.Int y -> Value.of_int (x lsl y)
+  | Ir.Shr, Value.Int x, Value.Int y -> Value.of_int (x asr y)
   | Ir.Add, Value.Float x, Value.Float y -> Value.Float (x +. y)
   | Ir.Sub, Value.Float x, Value.Float y -> Value.Float (x -. y)
   | Ir.Mul, Value.Float x, Value.Float y -> Value.Float (x *. y)
@@ -292,8 +301,8 @@ let rec arith op a b =
   | Ir.Le, x, y -> cmp_num ( <= ) ( <= ) x y
   | Ir.Gt, x, y -> cmp_num ( > ) ( > ) x y
   | Ir.Ge, x, y -> cmp_num ( >= ) ( >= ) x y
-  | Ir.Eq, x, y -> Value.Int (if Value.equal_ref x y then 1 else 0)
-  | Ir.Ne, x, y -> Value.Int (if Value.equal_ref x y then 0 else 1)
+  | Ir.Eq, x, y -> Value.of_int (if Value.equal_ref x y then 1 else 0)
+  | Ir.Ne, x, y -> Value.of_int (if Value.equal_ref x y then 0 else 1)
   | _, x, y ->
       vm_err "bad operands for binop: %s, %s" (Value.to_string x) (Value.to_string y)
 
@@ -308,7 +317,7 @@ and arith_float op x y =
 
 and cmp_num fi ff a b =
   match a, b with
-  | Value.Int x, Value.Int y -> Value.Int (if fi x y then 1 else 0)
+  | Value.Int x, Value.Int y -> Value.of_int (if fi x y then 1 else 0)
   | Value.Float x, Value.Float y -> Value.Int (if ff x y then 1 else 0)
   | Value.Int x, Value.Float y -> Value.Int (if ff (float_of_int x) y then 1 else 0)
   | Value.Float x, Value.Int y -> Value.Int (if ff x (float_of_int y) then 1 else 0)
@@ -434,10 +443,10 @@ let check_nonnull v =
 
 let store_get rt (a : R.acc) addr ~offset =
   match a with
-  | R.A_i8 -> Value.Int (Store.get_i8 rt.store addr ~offset)
-  | R.A_i16 -> Value.Int (Store.get_i16 rt.store addr ~offset)
-  | R.A_i32 -> Value.Int (Store.get_i32 rt.store addr ~offset)
-  | R.A_i64 -> Value.Int (Store.get_i64 rt.store addr ~offset)
+  | R.A_i8 -> Value.of_int (Store.get_i8 rt.store addr ~offset)
+  | R.A_i16 -> Value.of_int (Store.get_i16 rt.store addr ~offset)
+  | R.A_i32 -> Value.of_int (Store.get_i32 rt.store addr ~offset)
+  | R.A_i64 -> Value.of_int (Store.get_i64 rt.store addr ~offset)
   | R.A_f32 -> Value.Float (Store.get_f32 rt.store addr ~offset)
   | R.A_f64 -> Value.Float (Store.get_f64 rt.store addr ~offset)
 

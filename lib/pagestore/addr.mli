@@ -18,6 +18,12 @@ val make : page:int -> offset:int -> t
 val page : t -> int
 val offset : t -> int
 
+val page_nn : t -> int
+val offset_nn : t -> int
+(** [page]/[offset] for an address the caller already null-checked,
+    skipping the redundant non-null assertion on the per-access hot
+    path. *)
+
 val add : t -> int -> t
 (** [add a k] is the reference [k] bytes further into the same page. *)
 

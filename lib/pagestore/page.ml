@@ -8,100 +8,129 @@ let create ~bytes =
 
 let capacity = Bigarray.Array1.dim
 
-let read_u8 (p : t) i = Char.code (Bigarray.Array1.get p i)
-let write_u8 (p : t) i v = Bigarray.Array1.set p i (Char.chr (v land 0xff))
+(* A zero-length page no [create] can produce: every accessor's bounds
+   check fails on it, so it serves as the pool's trap-on-use sentinel
+   for unallocated and discarded table slots. *)
+let sentinel : t = Bigarray.Array1.create Bigarray.char Bigarray.c_layout 0
 
-(* Multi-byte accessors bounds-check the access once up front, then read
-   or write unchecked bytes; an out-of-range access falls back to the
-   checked byte path so it raises exactly where (and what) a byte-wise
-   walk would. Little-endian throughout. *)
+let[@inline always] read_u8 (p : t) i = Char.code (Bigarray.Array1.get p i)
+let[@inline always] write_u8 (p : t) i v = Bigarray.Array1.set p i (Char.chr (v land 0xff))
 
-let ub (p : t) i = Char.code (Bigarray.Array1.unsafe_get p i)
+(* Multi-byte accessors bounds-check the access once up front, then issue
+   a single unaligned machine load or store through the bigstring
+   primitives; an out-of-range access falls back to the checked byte path
+   so it raises exactly where (and what) a byte-wise walk would. The
+   primitives are native-endian, so the word path is additionally gated
+   on little-endian hardware; big-endian targets take the (equivalent,
+   slower) byte-composition path. Little-endian byte order throughout.
 
-let wb (p : t) i v =
-  Bigarray.Array1.unsafe_set p i (Char.unsafe_chr (v land 0xff))
+   The wrappers are [@inline always] so the guarded single-instruction
+   path lands inline at every call site even without flambda (the
+   use-site inlining threshold does not apply to the attribute); the
+   byte fallbacks are hoisted out of line so the inlined body stays a
+   compare-and-load. *)
 
-let read_u16 p i =
-  if i >= 0 && i + 2 <= Bigarray.Array1.dim p then ub p i lor (ub p (i + 1) lsl 8)
-  else read_u8 p i lor (read_u8 p (i + 1) lsl 8)
+external get_16u : t -> int -> int = "%caml_bigstring_get16u"
+external get_32u : t -> int -> int32 = "%caml_bigstring_get32u"
+external get_64u : t -> int -> int64 = "%caml_bigstring_get64u"
+external set_16u : t -> int -> int -> unit = "%caml_bigstring_set16u"
+external set_32u : t -> int -> int32 -> unit = "%caml_bigstring_set32u"
+external set_64u : t -> int -> int64 -> unit = "%caml_bigstring_set64u"
 
-let write_u16 p i v =
-  if i >= 0 && i + 2 <= Bigarray.Array1.dim p then begin
-    wb p i v;
-    wb p (i + 1) (v lsr 8)
-  end
-  else begin
-    write_u8 p i v;
-    write_u8 p (i + 1) (v lsr 8)
-  end
+let le = not Sys.big_endian
 
-let read_u32 p i =
-  if i >= 0 && i + 4 <= Bigarray.Array1.dim p then
-    ub p i lor (ub p (i + 1) lsl 8) lor (ub p (i + 2) lsl 16)
-    lor (ub p (i + 3) lsl 24)
-  else read_u16 p i lor (read_u16 p (i + 2) lsl 16)
+let[@inline never] read_u16_slow p i = read_u8 p i lor (read_u8 p (i + 1) lsl 8)
 
-let read_i32 p i =
-  let v = read_u32 p i in
-  (* Sign-extend from bit 31. *)
+let[@inline never] write_u16_slow p i v =
+  write_u8 p i v;
+  write_u8 p (i + 1) (v lsr 8)
+
+let read_u32_slow p i = read_u16_slow p i lor (read_u16_slow p (i + 2) lsl 16)
+
+let[@inline never] read_i32_slow p i =
+  let v = read_u32_slow p i in
   (v lxor 0x80000000) - 0x80000000
 
-let write_i32 p i v =
-  if i >= 0 && i + 4 <= Bigarray.Array1.dim p then begin
-    wb p i v;
-    wb p (i + 1) (v lsr 8);
-    wb p (i + 2) (v lsr 16);
-    wb p (i + 3) (v asr 24)
-  end
-  else begin
-    write_u16 p i v;
-    write_u16 p (i + 2) (v asr 16)
-  end
+let[@inline never] write_i32_slow p i v =
+  write_u16_slow p i v;
+  write_u16_slow p (i + 2) (v asr 16)
 
-let read_i64 p i =
-  if i >= 0 && i + 8 <= Bigarray.Array1.dim p then
-    ub p i lor (ub p (i + 1) lsl 8) lor (ub p (i + 2) lsl 16)
-    lor (ub p (i + 3) lsl 24)
-    lor (ub p (i + 4) lsl 32)
-    lor (ub p (i + 5) lsl 40)
-    lor (ub p (i + 6) lsl 48)
-    lor (ub p (i + 7) lsl 56)
-  else begin
-    let lo = read_u32 p i in
-    let hi = read_u32 p (i + 4) in
-    lo lor (hi lsl 32)
-  end
+let[@inline never] read_i64_slow p i =
+  let lo = read_u32_slow p i in
+  let hi = read_u32_slow p (i + 4) in
+  lo lor (hi lsl 32)
 
-let write_i64 p i v =
-  if i >= 0 && i + 8 <= Bigarray.Array1.dim p then begin
-    wb p i v;
-    wb p (i + 1) (v lsr 8);
-    wb p (i + 2) (v lsr 16);
-    wb p (i + 3) (v lsr 24);
-    wb p (i + 4) (v lsr 32);
-    wb p (i + 5) (v lsr 40);
-    wb p (i + 6) (v lsr 48);
-    wb p (i + 7) (v asr 56)
-  end
-  else begin
-    write_i32 p i v;
-    write_i32 p (i + 4) (v asr 32)
-  end
+let[@inline never] write_i64_slow p i v =
+  write_i32_slow p i v;
+  write_i32_slow p (i + 4) (v asr 32)
 
 (* The top bit of an IEEE double pattern would not survive a round-trip
-   through OCaml's 63-bit int, so floats move as two 32-bit halves. *)
-let write_f64 p i v =
+   through OCaml's 63-bit int, so the byte fallback moves floats as two
+   unsigned 32-bit halves; the word path keeps all 64 bits in the
+   (locally unboxed) Int64. *)
+let[@inline never] write_f64_slow p i v =
   let bits = Int64.bits_of_float v in
-  write_i32 p i (Int64.to_int (Int64.logand bits 0xFFFFFFFFL));
-  write_i32 p (i + 4) (Int64.to_int (Int64.shift_right bits 32))
+  let lo = Int64.to_int (Int64.logand bits 0xFFFFFFFFL) in
+  let hi = Int64.to_int (Int64.shift_right_logical bits 32) in
+  write_i32_slow p i lo;
+  write_i32_slow p (i + 4) hi
 
-let read_f64 p i =
-  let lo = Int64.of_int (read_u32 p i) in
-  let hi = Int64.of_int (read_i32 p (i + 4)) in
+let[@inline never] read_f64_slow p i =
+  let lo = Int64.of_int (read_u32_slow p i) in
+  let hi = Int64.of_int (read_u32_slow p (i + 4)) in
   Int64.float_of_bits (Int64.logor lo (Int64.shift_left hi 32))
 
-let read_f32 p i = Int32.float_of_bits (Int32.of_int (read_i32 p i))
-let write_f32 p i v = write_i32 p i (Int32.to_int (Int32.bits_of_float v))
+let[@inline always] read_u16 p i =
+  if le && i >= 0 && i + 2 <= Bigarray.Array1.dim p then get_16u p i land 0xffff
+  else read_u16_slow p i
+
+let[@inline always] write_u16 p i v =
+  if le && i >= 0 && i + 2 <= Bigarray.Array1.dim p then set_16u p i v
+  else write_u16_slow p i v
+
+let[@inline always] read_i32 p i =
+  if le && i >= 0 && i + 4 <= Bigarray.Array1.dim p then
+    (* [Int32.to_int] sign-extends from bit 31 for free. *)
+    Int32.to_int (get_32u p i)
+  else read_i32_slow p i
+
+let[@inline always] write_i32 p i v =
+  if le && i >= 0 && i + 4 <= Bigarray.Array1.dim p then set_32u p i (Int32.of_int v)
+  else write_i32_slow p i v
+
+let[@inline always] read_i64 p i =
+  if le && i >= 0 && i + 8 <= Bigarray.Array1.dim p then
+    (* Truncation to the 63-bit int drops the same top bit the byte
+       composition drops. *)
+    Int64.to_int (get_64u p i)
+  else read_i64_slow p i
+
+let[@inline always] write_i64 p i v =
+  if le && i >= 0 && i + 8 <= Bigarray.Array1.dim p then
+    (* [Int64.of_int] replicates the 63-bit sign into bit 63, exactly as
+       the byte path's final [asr 56] store does. *)
+    set_64u p i (Int64.of_int v)
+  else write_i64_slow p i v
+
+let[@inline always] write_f64 p i v =
+  if le && i >= 0 && i + 8 <= Bigarray.Array1.dim p then
+    set_64u p i (Int64.bits_of_float v)
+  else write_f64_slow p i v
+
+let[@inline always] read_f64 p i =
+  if le && i >= 0 && i + 8 <= Bigarray.Array1.dim p then
+    Int64.float_of_bits (get_64u p i)
+  else read_f64_slow p i
+
+let[@inline always] read_f32 p i =
+  if le && i >= 0 && i + 4 <= Bigarray.Array1.dim p then
+    Int32.float_of_bits (get_32u p i)
+  else Int32.float_of_bits (Int32.of_int (read_i32_slow p i))
+
+let[@inline always] write_f32 p i v =
+  if le && i >= 0 && i + 4 <= Bigarray.Array1.dim p then
+    set_32u p i (Int32.bits_of_float v)
+  else write_i32_slow p i (Int32.to_int (Int32.bits_of_float v))
 
 let blit ~src ~src_off ~dst ~dst_off ~len =
   let s = Bigarray.Array1.sub src src_off len in

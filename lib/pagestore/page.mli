@@ -10,6 +10,10 @@ type t
 val create : bytes:int -> t
 val capacity : t -> int
 
+val sentinel : t
+(** The unique zero-length page: every access to it raises, so it marks
+    dead page-table slots without an option wrapper. *)
+
 val read_u8 : t -> int -> int
 val write_u8 : t -> int -> int -> unit
 val read_u16 : t -> int -> int

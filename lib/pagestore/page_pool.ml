@@ -9,7 +9,7 @@ type t = {
      id off the stack happens-before any use of that id, so the plain
      [table] read below always observes an array that contains it (grows
      only ever copy entries forward). *)
-  mutable table : Page.t option array;
+  mutable table : Page.t array;
   mutable next_id : int;
   free : int list Atomic.t; (* standard pages available for reuse *)
   live : int Atomic.t;
@@ -19,6 +19,14 @@ type t = {
   mutable peak_native : int;
 }
 
+(* Unallocated and discarded table slots hold this shared zero-length
+   page rather than an option: the per-access option match (tag test
+   plus a dependent [Some] field load) was measurable on the facade data
+   path, and a zero-length page fails every accessor's bounds check, so
+   a stale id still traps. [Page.create] rejects zero bytes, so no live
+   page can alias the sentinel. *)
+let dead = Page.sentinel
+
 let default_page_bytes = 32 * 1024
 
 let create ?(page_bytes = default_page_bytes) () =
@@ -26,7 +34,7 @@ let create ?(page_bytes = default_page_bytes) () =
   {
     page_bytes;
     mutex = Mutex.create ();
-    table = Array.make 64 None;
+    table = Array.make 64 dead;
     next_id = 0;
     free = Atomic.make [];
     live = Atomic.make 0;
@@ -49,7 +57,7 @@ let with_lock t f =
       raise e
 
 let grow_table t =
-  let table = Array.make (2 * Array.length t.table) None in
+  let table = Array.make (2 * Array.length t.table) dead in
   Array.blit t.table 0 table 0 (Array.length t.table);
   t.table <- table
 
@@ -57,7 +65,7 @@ let fresh_page t ~bytes =
   if t.next_id >= Array.length t.table then grow_table t;
   let id = t.next_id in
   t.next_id <- id + 1;
-  t.table.(id) <- Some (Page.create ~bytes);
+  t.table.(id) <- Page.create ~bytes;
   t.created <- t.created + 1;
   t.native <- t.native + bytes;
   if t.native > t.peak_native then t.peak_native <- t.native;
@@ -84,9 +92,8 @@ let acquire t =
   Atomic.incr t.live;
   match pop_free t with
   | Some id ->
-      (match t.table.(id) with
-      | Some p -> Page.fill p ~off:0 ~len:(Page.capacity p) '\000'
-      | None -> assert false);
+      let p = t.table.(id) in
+      Page.fill p ~off:0 ~len:(Page.capacity p) '\000';
       Atomic.incr t.recycled;
       trace_page "page_recycled" id;
       id
@@ -106,28 +113,34 @@ let acquire_oversize t ~bytes =
   id
 
 let release t id =
-  (match t.table.(id) with
-  | Some p when Page.capacity p = t.page_bytes -> ()
-  | Some _ -> invalid_arg "Page_pool.release: oversize page"
-  | None -> invalid_arg "Page_pool.release: page already discarded");
+  (let p = t.table.(id) in
+   if Page.capacity p = 0 then invalid_arg "Page_pool.release: page already discarded"
+   else if Page.capacity p <> t.page_bytes then
+     invalid_arg "Page_pool.release: oversize page");
   Atomic.decr t.live;
   push_free t id;
   trace_page "page_release" id
 
 let release_oversize t id =
   with_lock t (fun () ->
-      match t.table.(id) with
-      | Some p ->
-          t.native <- t.native - Page.capacity p;
-          t.table.(id) <- None;
-          Atomic.decr t.live
-      | None -> invalid_arg "Page_pool.release_oversize: page already discarded");
+      let p = t.table.(id) in
+      if Page.capacity p = 0 then
+        invalid_arg "Page_pool.release_oversize: page already discarded";
+      t.native <- t.native - Page.capacity p;
+      t.table.(id) <- dead;
+      Atomic.decr t.live);
   trace_page "page_release_oversize" id
 
-let page t id =
-  match t.table.(id) with
-  | Some p -> p
-  | None -> invalid_arg "Page_pool.page: dead page"
+let[@inline never] dead_page () = invalid_arg "Page_pool.page: dead page"
+
+let[@inline always] page t id =
+  let p = t.table.(id) in
+  if Page.capacity p = 0 then dead_page () else p
+
+(* The facade data path resolves a page per access; the dim-0 sentinel
+   already makes the accessors trap on a discarded id, so the hot path
+   skips the redundant liveness check above. *)
+let[@inline always] page_unchecked t id = t.table.(id)
 
 let live_pages t = Atomic.get t.live
 let pages_created t = t.created

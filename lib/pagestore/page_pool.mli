@@ -33,6 +33,12 @@ val release_oversize : t -> int -> unit
 val page : t -> int -> Page.t
 (** The backing storage of a live page id. *)
 
+val page_unchecked : t -> int -> Page.t
+(** [page] without the liveness check, for the per-access hot path: a
+    discarded id resolves to a zero-length sentinel page, so any actual
+    access still raises (from the accessor's bounds check) rather than
+    reading freed storage. *)
+
 val live_pages : t -> int
 (** Pages currently held by managers (excludes the free list). *)
 

@@ -88,11 +88,20 @@ let iteration_end t ~thread =
 
 let iteration_depth t ~thread = List.length (thread_state t thread).stack
 
-let page_of t addr = Page_pool.page t.pool (Addr.page addr)
+let[@inline always] page_of t addr = Page_pool.page_unchecked t.pool (Addr.page addr)
 
 let base t addr =
   let p = page_of t addr in
   (p, Addr.offset addr)
+
+(* Page resolution against a pre-fetched page pool: callers that resolve
+   many addresses in a row (the tier-2 compiled segments) hoist the
+   [t.pool] load out of the loop and stay independent of any particular
+   store handle. [page_in] returns the page alone — without flambda the
+   tuple [base_in] returns is a real per-access heap allocation, so the
+   hot compiled templates call [page_in] + [Addr.offset] separately. *)
+let[@inline always] page_in pool addr = Page_pool.page_unchecked pool (Addr.page_nn addr)
+let base_in pool addr = (page_in pool addr, Addr.offset addr)
 
 (* Allocation bodies shared by the global-counter and buffered ([local])
    entry points: everything except publishing to [t.records]. *)
@@ -194,61 +203,52 @@ let local_iteration_end l =
       Page_manager.release_all m;
       st.stack <- rest
 
+(* The accessors below resolve page and offset separately rather than
+   through [base]: without flambda, a cross-function tuple return
+   allocates on every call, and these are the interpreter's per-access
+   hot path. *)
+
 let type_id t addr =
-  let p, off = base t addr in
-  Page.read_u16 p (off + Layout_rt.type_id_offset)
+  Page.read_u16 (page_of t addr) (Addr.offset addr + Layout_rt.type_id_offset)
 
 let array_length t addr =
-  let p, off = base t addr in
-  Page.read_i32 p (off + Layout_rt.length_offset)
+  Page.read_i32 (page_of t addr) (Addr.offset addr + Layout_rt.length_offset)
 
 let get_i8 t addr ~offset =
-  let p, off = base t addr in
-  Page.read_u8 p (off + offset)
+  Page.read_u8 (page_of t addr) (Addr.offset addr + offset)
 
 let set_i8 t addr ~offset v =
-  let p, off = base t addr in
-  Page.write_u8 p (off + offset) v
+  Page.write_u8 (page_of t addr) (Addr.offset addr + offset) v
 
 let get_i16 t addr ~offset =
-  let p, off = base t addr in
-  Page.read_u16 p (off + offset)
+  Page.read_u16 (page_of t addr) (Addr.offset addr + offset)
 
 let set_i16 t addr ~offset v =
-  let p, off = base t addr in
-  Page.write_u16 p (off + offset) v
+  Page.write_u16 (page_of t addr) (Addr.offset addr + offset) v
 
 let get_i32 t addr ~offset =
-  let p, off = base t addr in
-  Page.read_i32 p (off + offset)
+  Page.read_i32 (page_of t addr) (Addr.offset addr + offset)
 
 let set_i32 t addr ~offset v =
-  let p, off = base t addr in
-  Page.write_i32 p (off + offset) v
+  Page.write_i32 (page_of t addr) (Addr.offset addr + offset) v
 
 let get_i64 t addr ~offset =
-  let p, off = base t addr in
-  Page.read_i64 p (off + offset)
+  Page.read_i64 (page_of t addr) (Addr.offset addr + offset)
 
 let set_i64 t addr ~offset v =
-  let p, off = base t addr in
-  Page.write_i64 p (off + offset) v
+  Page.write_i64 (page_of t addr) (Addr.offset addr + offset) v
 
 let get_f32 t addr ~offset =
-  let p, off = base t addr in
-  Page.read_f32 p (off + offset)
+  Page.read_f32 (page_of t addr) (Addr.offset addr + offset)
 
 let set_f32 t addr ~offset v =
-  let p, off = base t addr in
-  Page.write_f32 p (off + offset) v
+  Page.write_f32 (page_of t addr) (Addr.offset addr + offset) v
 
 let get_f64 t addr ~offset =
-  let p, off = base t addr in
-  Page.read_f64 p (off + offset)
+  Page.read_f64 (page_of t addr) (Addr.offset addr + offset)
 
 let set_f64 t addr ~offset v =
-  let p, off = base t addr in
-  Page.write_f64 p (off + offset) v
+  Page.write_f64 (page_of t addr) (Addr.offset addr + offset) v
 
 let get_ref t addr ~offset = Addr.of_int (get_i64 t addr ~offset)
 let set_ref t addr ~offset v = set_i64 t addr ~offset (Addr.to_int v)
@@ -267,12 +267,10 @@ let arraycopy t ~src ~src_pos ~dst ~dst_pos ~len ~elem_bytes =
     ~len:(len * elem_bytes)
 
 let get_lock_field t addr =
-  let p, off = base t addr in
-  Page.read_u16 p (off + Layout_rt.lock_offset)
+  Page.read_u16 (page_of t addr) (Addr.offset addr + Layout_rt.lock_offset)
 
 let set_lock_field t addr v =
-  let p, off = base t addr in
-  Page.write_u16 p (off + Layout_rt.lock_offset) v
+  Page.write_u16 (page_of t addr) (Addr.offset addr + Layout_rt.lock_offset) v
 
 type stats = {
   records_allocated : int;

@@ -27,6 +27,7 @@ type op =
   | Arr_accum of int * int       (* vi.a = vi.a + vi.arr[idx] *)
   | Combine of int * int         (* Main.comb(vi, vj): virtual vi.combine(vj) *)
   | Sync of int                  (* Main.bump(vi): monitored vi.a += 1 *)
+  | Spin of int                  (* Main.spin(vi, 40): loop vi.a += 1, 40x *)
 
 let nvars = 4
 
@@ -47,6 +48,7 @@ let op_gen =
       (2, map2 (fun i k -> Arr_accum (i, k)) var idx);
       (2, map2 (fun i j -> Combine (i, j)) var var);
       (1, map (fun i -> Sync i) var);
+      (1, map (fun i -> Spin i) var);
       (1, map2 (fun i j -> Follow (i, j)) var var);
     ]
 
@@ -142,6 +144,35 @@ let program_of_ops ops =
     B.ret b None;
     B.finish m
   in
+  (* A real loop for the OSR fuzzer: 40 iterations tick past the 32-trip
+     back-edge threshold (hot=2), so a single Spin tiers the loop up
+     mid-call even though the method's call count stays below [hot]. *)
+  let spin_helper =
+    let m =
+      B.create ~static:true "spin"
+        ~params:[ ("x", Jtype.Ref "D"); ("n", int_t) ]
+    in
+    let b0 = B.entry m in
+    let hdr = B.block m in
+    let body = B.block m in
+    let exit_ = B.block m in
+    let i = B.fresh m int_t in
+    let one = B.fresh m int_t in
+    let c = B.fresh m int_t in
+    let t = B.fresh m int_t in
+    B.const_i b0 i 0;
+    B.const_i b0 one 1;
+    B.jump b0 hdr;
+    B.binop hdr c Ir.Lt i "n";
+    B.branch hdr c ~then_:body ~else_:exit_;
+    B.fload body ~dst:t ~obj:"x" ~field:"a";
+    B.binop body t Ir.Add t one;
+    B.fstore body ~obj:"x" ~field:"a" ~src:t;
+    B.binop body i Ir.Add i one;
+    B.jump body hdr;
+    B.ret exit_ None;
+    B.finish m
+  in
   let main =
     let m = B.create ~static:true "main" ~ret:int_t in
     let b = B.entry m in
@@ -197,6 +228,9 @@ let program_of_ops ops =
       | Combine (i, j) ->
           B.call b ~kind:Ir.Static ~cls:"Main" ~name:"comb" [ v i; v j ]
       | Sync i -> B.call b ~kind:Ir.Static ~cls:"Main" ~name:"bump" [ v i ]
+      | Spin i ->
+          B.const_i b tmp_j 40;
+          B.call b ~kind:Ir.Static ~cls:"Main" ~name:"spin" [ v i; tmp_j ]
     in
     List.iter emit ops;
     (* Checksum over every variable: ints, array slots, a float signal. *)
@@ -222,7 +256,10 @@ let program_of_ops ops =
     B.finish m
   in
   Program.make ~entry:("Main", "main")
-    [ data_cls; sub_cls; B.cls "Main" ~methods:[ comb_helper; bump_helper; main ] ]
+    [
+      data_cls; sub_cls;
+      B.cls "Main" ~methods:[ comb_helper; bump_helper; spin_helper; main ];
+    ]
 
 let spec =
   { Facade_compiler.Classify.data_roots = [ "D"; "E"; "Main" ]; boundary = [] }
@@ -310,6 +347,39 @@ let prop_tier_differential =
        QCheck.Gen.(list_size (int_range 0 60) op_gen))
     run_tier_differential
 
+(* The OSR fuzzer: facade mode with on-stack replacement live (Spin ops
+   put a 40-iteration loop in a once-called method, so the back-edge
+   path — compile at the loop header, transfer the live frame, deopt
+   from inside if a monitor follows — is exercised), sequentially and
+   on a 4-domain pool. Every observable must match plain tier 1. *)
+let run_osr_differential ops =
+  let program = program_of_ops ops in
+  let pl = Facade_compiler.Pipeline.compile ~spec program in
+  let key (o : Facade_vm.Interp.outcome) =
+    ( (match o.Facade_vm.Interp.result with
+      | Some v -> Facade_vm.Value.to_string v
+      | None -> "-"),
+      Facade_vm.Exec_stats.output_lines o.Facade_vm.Interp.stats,
+      o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.steps,
+      o.Facade_vm.Interp.stats.Facade_vm.Exec_stats.page_records )
+  in
+  let fac1 = Facade_vm.Interp.run_facade ~quicken:true pl in
+  let seq =
+    Facade_vm.Interp.run_facade ~quicken:true ~tier2:true ~tier2_hot:2 ~osr:true pl
+  in
+  let par =
+    Facade_vm.Interp.run_facade ~quicken:true ~workers:4 ~tier2:true ~tier2_hot:2
+      ~osr:true pl
+  in
+  key fac1 = key seq && key fac1 = key par
+
+let prop_osr_differential =
+  QCheck.Test.make ~name:"random programs: OSR tier2 = tier1, workers 1/4" ~count:60
+    (QCheck.make
+       ~print:(fun ops -> Printf.sprintf "<%d ops>" (List.length ops))
+       QCheck.Gen.(list_size (int_range 0 60) op_gen))
+    run_osr_differential
+
 let test_empty_program () =
   Alcotest.(check bool) "no ops" true (run_differential [])
 
@@ -350,5 +420,6 @@ let () =
         [
           Alcotest.test_case "directed receiver flips" `Quick test_directed_tier_flip;
           QCheck_alcotest.to_alcotest prop_tier_differential;
+          QCheck_alcotest.to_alcotest prop_osr_differential;
         ] );
     ]

@@ -81,8 +81,8 @@ let test_facade_differential () =
     Samples.all
 
 (* Object mode: same program, both tiers, bit-equal outcome and steps. *)
-let object_outcome ?(tier2 = false) ?(tier2_hot = 2) ?max_steps ~is_data p =
-  let o = I.run_object ~is_data ?max_steps ~quicken:true ~tier2 ~tier2_hot p in
+let object_outcome ?(tier2 = false) ?(tier2_hot = 2) ?(osr = true) ?max_steps ~is_data p =
+  let o = I.run_object ~is_data ?max_steps ~quicken:true ~tier2 ~tier2_hot ~osr p in
   ( (match o.I.result with Some v -> Facade_vm.Value.to_string v | None -> "-"),
     Stats.output_lines o.I.stats,
     o.I.stats.Stats.steps,
@@ -251,6 +251,91 @@ let test_budget_deopt () =
   in
   Alcotest.(check int) "same total under the exact budget" total steps2
 
+(* ---------- on-stack replacement ---------- *)
+
+(* A hot loop inside a method called exactly once: the call counter never
+   reaches the threshold, so the only way into compiled code is the
+   back-edge counter — the interpreter must compile a loop-entry variant
+   mid-call and transfer the live frame to it. A monitor region guarded
+   to fire on a late iteration then deopts *inside* the OSR'd loop, and
+   tier 1 must resume bit-exactly. Sum of 0..59 either way. *)
+let osr_program =
+  let a_cls = B.cls "A" ~methods:[ empty_init () ] in
+  let loop =
+    let m =
+      B.create ~static:true "loop"
+        ~params:[ ("x", Jtype.Ref "A"); ("n", int_t) ]
+        ~ret:int_t
+    in
+    let b0 = B.entry m in
+    let hdr = B.block m in
+    let body = B.block m in
+    let mon = B.block m in
+    let cont = B.block m in
+    let exit_ = B.block m in
+    let i = B.fresh m int_t in
+    let acc = B.fresh m int_t in
+    let one = B.fresh m int_t in
+    let trip = B.fresh m int_t in
+    let c = B.fresh m int_t in
+    let is_trip = B.fresh m int_t in
+    B.const_i b0 i 0;
+    B.const_i b0 acc 0;
+    B.const_i b0 one 1;
+    B.const_i b0 trip 55;
+    B.jump b0 hdr;
+    B.binop hdr c Ir.Lt i "n";
+    B.branch hdr c ~then_:body ~else_:exit_;
+    B.binop body is_trip Ir.Eq i trip;
+    B.branch body is_trip ~then_:mon ~else_:cont;
+    B.monitor_enter mon "x";
+    B.monitor_exit mon "x";
+    B.jump mon cont;
+    B.binop cont acc Ir.Add acc i;
+    B.binop cont i Ir.Add i one;
+    B.jump cont hdr;
+    B.ret exit_ (Some acc);
+    B.finish m
+  in
+  let main =
+    let m = B.create ~static:true "main" ~ret:int_t in
+    let b = B.entry m in
+    let a = B.fresh m (Jtype.Ref "A") in
+    let n = B.fresh m int_t in
+    let r = B.fresh m int_t in
+    B.new_obj b a "A";
+    B.call b ~recv:a ~kind:Ir.Special ~cls:"A" ~name:ctor [];
+    B.const_i b n 60;
+    B.call b ~ret:r ~kind:Ir.Static ~cls:"Main" ~name:"loop" [ a; n ];
+    B.ret b (Some r);
+    B.finish m
+  in
+  Program.make ~entry:("Main", "main") [ a_cls; B.cls "Main" ~methods:[ loop; main ] ]
+
+let test_osr_loop_entry () =
+  let is_data _ = false in
+  (* hot=2: the OSR threshold is 32 back-edge trips, reached well inside
+     the single 60-iteration call; the monitor fires at i=55, after the
+     transfer into compiled code. *)
+  let r1, out1, steps1, _ = object_outcome ~is_data osr_program in
+  let r2, out2, steps2, st2 = object_outcome ~tier2:true ~is_data osr_program in
+  Alcotest.(check string) "result" "1770" r2;
+  Alcotest.(check string) "tier1 = tier2 result" r1 r2;
+  Alcotest.(check (list string)) "output" out1 out2;
+  Alcotest.(check int) "steps" steps1 steps2;
+  Alcotest.(check bool) "entered via OSR" true (st2.Stats.osr_entries > 0);
+  Alcotest.(check bool) "deopted inside the OSR'd loop" true
+    (st2.Stats.tier2_deopts > 0);
+  (* With OSR off the method never compiles (one call < hot), so the run
+     is pure tier 1 plus the eagerly compiled entry. *)
+  let r3, out3, steps3, st3 =
+    object_outcome ~tier2:true ~osr:false ~is_data osr_program
+  in
+  Alcotest.(check string) "no-osr result" r1 r3;
+  Alcotest.(check (list string)) "no-osr output" out1 out3;
+  Alcotest.(check int) "no-osr steps" steps1 steps3;
+  Alcotest.(check int) "no-osr never OSR-enters" 0 st3.Stats.osr_entries
+
 (* A tier built with [make_tier] persists compiled code across runs of
    the same linked program — the warm-service pattern the benchmarks
    use. The second run must stay observably identical to tier 1 while
@@ -287,6 +372,39 @@ let test_shared_tier () =
   Alcotest.(check (triple string (list string) int)) "second run == tier1" o1 (obs w2);
   Alcotest.(check (triple string (list string) int)) "steady run == tier1" o1 (obs w3)
 
+(* The same warm-service pattern in facade mode: compiled facade
+   segments take the page pool from the running [st] at segment entry
+   instead of capturing one run's store, so a [make_tier] tier is
+   shareable across [run_facade] runs of the same linked pipeline. With
+   hot=1 every called method compiles during the first warm run, and
+   the second run must compile and recompile nothing while staying
+   observably identical to tier 1. *)
+let test_shared_facade_tier () =
+  let s = List.find (fun s -> s.Samples.name = "collections") Samples.all in
+  let pl = Facade_compiler.Pipeline.compile ~spec:s.Samples.spec s.Samples.program in
+  let obs (o : I.outcome) =
+    ( (match o.I.result with Some v -> Facade_vm.Value.to_string v | None -> "-"),
+      Stats.output_lines o.I.stats,
+      o.I.stats.Stats.steps )
+  in
+  let o1 = obs (I.run_facade ~quicken:true pl) in
+  (* The pipeline's quickened link is cached, so this resolved program
+     is the one [run_facade ~quicken:true] executes. *)
+  let rp = Facade_vm.Link.facade_program ~quicken:true pl in
+  let tier = I.make_tier ~hot:1 rp in
+  let w1 = I.run_facade ~quicken:true ~tier pl in
+  let w2 = I.run_facade ~quicken:true ~tier pl in
+  Alcotest.(check bool) "first warm run compiles" true
+    (w1.I.stats.Stats.tier2_compiles > 0);
+  Alcotest.(check int) "second run compiles nothing" 0
+    w2.I.stats.Stats.tier2_compiles;
+  Alcotest.(check int) "second run recompiles nothing" 0
+    w2.I.stats.Stats.tier2_recompiles;
+  Alcotest.(check bool) "second run enters compiled code" true
+    (w2.I.stats.Stats.tier2_entries > 0);
+  Alcotest.(check (triple string (list string) int)) "warm run == tier1" o1 (obs w1);
+  Alcotest.(check (triple string (list string) int)) "second run == tier1" o1 (obs w2)
+
 let () =
   Alcotest.run "tier"
     [
@@ -298,9 +416,13 @@ let () =
             test_object_differential;
           Alcotest.test_case "shared tier stays warm across runs" `Quick
             test_shared_tier;
+          Alcotest.test_case "shared facade tier: zero compiles on run 2" `Quick
+            test_shared_facade_tier;
         ] );
       ( "deopt",
         [
+          Alcotest.test_case "osr: loop entry mid-call, deopt inside" `Quick
+            test_osr_loop_entry;
           Alcotest.test_case "polymorphic receiver" `Quick test_polymorphic_deopt;
           Alcotest.test_case "monitor region retires the method" `Quick
             test_monitor_deopt_and_retire;
