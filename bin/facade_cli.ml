@@ -721,6 +721,132 @@ let opt_report_cmd =
           counts.")
     Term.(ret (const run $ sample_arg $ json_flag))
 
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "facade.sock"
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path the daemon listens on.")
+  in
+  let pool_workers_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "pool-workers" ] ~docv:"N"
+          ~doc:
+            "Size of the shared domain pool parallel jobs run on. The pool is \
+             spawned once at startup and reused by every submission; 0 disables \
+             it (parallel jobs then spawn private pools).")
+  in
+  let runners_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "runners" ] ~docv:"N" ~doc:"Number of concurrently executing jobs.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Queued-job cap; submissions beyond it are rejected ($(i,queue_full)).")
+  in
+  let job_pages_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "job-pages" ] ~docv:"N"
+          ~doc:"Default per-job page reservation (a submission may ask for more).")
+  in
+  let job_heap_mb_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "job-heap-mb" ] ~docv:"MB" ~doc:"Default per-job native-byte reservation.")
+  in
+  let tenant_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "tenant" ] ~docv:"NAME:PAGES:HEAPMB:INFLIGHT"
+          ~doc:
+            "Configure a tenant quota (repeatable): max concurrently reserved \
+             pages, native megabytes, and in-flight jobs. Unlisted tenants get \
+             the default quota unless $(b,--no-default-tenants).")
+  in
+  let no_default_arg =
+    Arg.(
+      value & flag
+      & info [ "no-default-tenants" ]
+          ~doc:"Reject submissions from tenants not configured with $(b,--tenant).")
+  in
+  let trace_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Export one Chrome trace per tenant (submit/start/done instants and \
+             a latency histogram) into DIR at shutdown.")
+  in
+  let parse_tenant spec =
+    match String.split_on_char ':' spec with
+    | [ name; pages; heap_mb; inflight ] -> (
+        match
+          (int_of_string_opt pages, int_of_string_opt heap_mb, int_of_string_opt inflight)
+        with
+        | Some p, Some h, Some i ->
+            Ok (name, { Service.Tenant.q_pages = p; q_heap_bytes = h lsl 20; q_inflight = i })
+        | _ -> Error spec)
+    | _ -> Error spec
+  in
+  let run socket pool_workers runners max_queue job_pages job_heap_mb tenant_specs
+      no_default trace_dir =
+    let tenants = List.map parse_tenant tenant_specs in
+    match List.find_map (function Error s -> Some s | Ok _ -> None) tenants with
+    | Some spec ->
+        `Error
+          (true, Printf.sprintf "bad --tenant entry %S (want NAME:PAGES:HEAPMB:INFLIGHT)" spec)
+    | None ->
+        let cfg =
+          {
+            Service.Server.socket_path = socket;
+            pool_workers = max 0 pool_workers;
+            sched_config =
+              {
+                Service.Scheduler.default_config with
+                c_runners = max 1 runners;
+                c_max_queue = max 1 max_queue;
+                c_job_pages = max 1 job_pages;
+                c_job_heap = max 1 job_heap_mb lsl 20;
+              };
+            tenants = List.filter_map Result.to_option tenants;
+            default_quota =
+              (if no_default then None else Some Service.Tenant.default_quota);
+            trace_dir;
+          }
+        in
+        Printf.printf "facade_cli serve: listening on %s (pool=%d runners=%d)\n%!"
+          socket cfg.Service.Server.pool_workers runners;
+        Service.Server.serve cfg;
+        Printf.printf "facade_cli serve: stopped\n%!";
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent multi-tenant daemon: submissions arrive over a \
+          Unix-domain socket (length-prefixed framed protocol), each program is \
+          compiled once and reruns hit the warm tier-2 tier, parallel jobs share \
+          one long-lived domain pool, and per-tenant page/heap quotas are \
+          enforced at admission and again by the runtime. Shut it down with a \
+          $(i,Shutdown) request (e.g. $(b,bench/loadgen --shutdown)).")
+    Term.(
+      ret
+        (const run $ socket_arg $ pool_workers_arg $ runners_arg $ max_queue_arg
+       $ job_pages_arg $ job_heap_mb_arg $ tenant_arg $ no_default_arg $ trace_dir_arg))
+
 let lint_cmd =
   let data_roots =
     Arg.(
@@ -790,6 +916,7 @@ let () =
             samples_cmd;
             demo_cmd;
             run_cmd;
+            serve_cmd;
             profile_cmd;
             validate_trace_cmd;
             inspect_cmd;

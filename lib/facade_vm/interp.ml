@@ -1093,12 +1093,17 @@ let run_object ?heap ?(is_data = fun _ -> false) ?(max_steps = default_max_steps
     ~osr
     (Link.object_program ~is_data ~quicken p)
 
-let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
-    ?(io_scale = 0.0) ?(entry_args = []) ?(quicken = false) ?(tier2 = false)
-    ?(tier2_hot = 8) ?tier2_feedback ?(osr = true) ?tier
+let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers ?pool
+    ?page_quota ?heap_budget ?(io_scale = 0.0) ?(entry_args = []) ?(quicken = false)
+    ?(tier2 = false) ?(tier2_hot = 8) ?tier2_feedback ?(osr = true) ?tier
     (pl : Facade_compiler.Pipeline.t) =
   let rp = Link.facade_program ~quicken pl in
   let store = Store.create ?page_bytes () in
+  (* Tenant resource caps: enforced by the store on every allocation. *)
+  (match (page_quota, heap_budget) with
+  | None, None -> ()
+  | _ ->
+      Store.set_limits store ?max_live_pages:page_quota ?max_native_bytes:heap_budget ());
   let thread = 0 in
   Store.register_thread store thread;
   let bounds = Facade_compiler.Bounds.as_array pl.Facade_compiler.Pipeline.bounds in
@@ -1119,17 +1124,27 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
       last_pages = 0;
     }
   in
-  let par =
-    match workers with
-    | None -> None
-    | Some w ->
-        Some
-          {
-            pool = Parallel.Pool.create ~workers:(max 1 w);
-            pools_mu = Mutex.create ();
-            mon_mu = Mutex.create ();
-            heap_mu = Mutex.create ();
-          }
+  (* A caller-provided [?pool] selects the parallel path on a shared,
+     long-lived domain pool (the service daemon's): the run borrows it —
+     external waiters park without helping, so concurrent runs coexist —
+     and never shuts it down. Without it, [?workers] keeps the historical
+     behavior of a private pool owned (and torn down) by this run. *)
+  let owned_pool, par =
+    let shared p =
+      Some
+        {
+          pool = p;
+          pools_mu = Mutex.create ();
+          mon_mu = Mutex.create ();
+          heap_mu = Mutex.create ();
+        }
+    in
+    match (pool, workers) with
+    | Some p, _ -> (None, shared p)
+    | None, Some w ->
+        let p = Parallel.Pool.create ~workers:(max 1 w) in
+        (Some p, shared p)
+    | None, None -> (None, None)
   in
   let st = make_st ?par ~io_scale rp (Facade_mode rt) heap max_steps thread in
   (* Tier-2 facade code is store-independent (every page access resolves
@@ -1150,7 +1165,7 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
   pre_intern_strings st rt;
   match par with
   | None -> run_entry st ~entry_args
-  | Some sh ->
+  | Some _ ->
       st.ctx <-
         Some
           {
@@ -1160,6 +1175,9 @@ let run_facade ?heap ?(max_steps = default_max_steps) ?page_bytes ?workers
             dc_strings = Hashtbl.create 16;
             dc_intern = Hashtbl.create 16;
           };
-      Fun.protect
-        ~finally:(fun () -> Parallel.Pool.shutdown sh.pool)
-        (fun () -> run_entry st ~entry_args)
+      (match owned_pool with
+      | Some p ->
+          Fun.protect
+            ~finally:(fun () -> Parallel.Pool.shutdown p)
+            (fun () -> run_entry st ~entry_args)
+      | None -> run_entry st ~entry_args)

@@ -111,6 +111,9 @@ val run_facade :
   ?max_steps:int ->
   ?page_bytes:int ->
   ?workers:int ->
+  ?pool:Parallel.Pool.t ->
+  ?page_quota:int ->
+  ?heap_budget:int ->
   ?io_scale:float ->
   ?entry_args:Value.t list ->
   ?quicken:bool ->
@@ -143,6 +146,19 @@ val run_facade :
     in this mode, and because batching moves GC trigger points, simulated
     GC pause {e counts} remain approximate under parallelism. Omitting
     [?workers] leaves the engine byte-for-byte on the sequential path.
+
+    [?pool] selects the parallel path on a caller-owned, long-lived
+    domain pool instead of spawning a private one: the run borrows the
+    pool (several concurrent runs may share it — external waiters park
+    without helping) and never shuts it down, which is how the service
+    daemon amortizes [Domain.spawn] to zero across submissions. When
+    both [?pool] and [?workers] are given, the shared pool wins.
+
+    [?page_quota] (max live pages) and [?heap_budget] (max native page
+    bytes) install {!Pagestore.Store.set_limits} caps on this run's
+    private store; exceeding either raises
+    {!Pagestore.Store.Quota_exceeded} out of this call (through the
+    parallel join if workers are active), failing only this run.
 
     [?io_scale] (default [0.], i.e. off) sets the real seconds slept per
     simulated second of [sys.io_read] latency: with it the VM realizes

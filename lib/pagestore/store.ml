@@ -15,7 +15,24 @@ type t = {
   threads : (thread, thread_state) Hashtbl.t;
   retired : (thread, thread_totals) Hashtbl.t;
   records : int Atomic.t;
+  (* Resource limits for multi-tenant runs; 0 means unlimited. Plain int
+     reads on the allocation path — the unset check is a single compare. *)
+  mutable max_live_pages : int;
+  mutable max_native_bytes : int;
 }
+
+type quota_kind = Q_pages | Q_heap_bytes
+
+exception Quota_exceeded of { kind : quota_kind; used : int; limit : int }
+
+let quota_kind_label = function Q_pages -> "pages" | Q_heap_bytes -> "heap_bytes"
+
+let quota_message = function
+  | Quota_exceeded { kind; used; limit } ->
+      Some
+        (Printf.sprintf "quota exceeded: %s used=%d limit=%d"
+           (quota_kind_label kind) used limit)
+  | _ -> None
 
 let create ?page_bytes () =
   {
@@ -24,7 +41,35 @@ let create ?page_bytes () =
     threads = Hashtbl.create 16;
     retired = Hashtbl.create 16;
     records = Atomic.make 0;
+    max_live_pages = 0;
+    max_native_bytes = 0;
   }
+
+let set_limits t ?max_live_pages ?max_native_bytes () =
+  (match max_live_pages with
+  | Some v -> t.max_live_pages <- max 0 v
+  | None -> ());
+  match max_native_bytes with
+  | Some v -> t.max_native_bytes <- max 0 v
+  | None -> ()
+
+(* Enforced after the page acquisition that crossed the line: the store
+   may briefly hold one page past the quota, but the allocation that
+   needed it never completes, so no record is ever written beyond the
+   budget. Raising here propagates through the VM (and, in parallel
+   runs, through the [Sched] join) and fails only the offending run —
+   co-tenants hold their own stores. *)
+let[@inline] check_limits t =
+  if t.max_live_pages > 0 then begin
+    let used = Page_pool.live_pages t.pool in
+    if used > t.max_live_pages then
+      raise (Quota_exceeded { kind = Q_pages; used; limit = t.max_live_pages })
+  end;
+  if t.max_native_bytes > 0 then begin
+    let used = Page_pool.native_bytes t.pool in
+    if used > t.max_native_bytes then
+      raise (Quota_exceeded { kind = Q_heap_bytes; used; limit = t.max_native_bytes })
+  end
 
 let pool t = t.pool
 
@@ -110,6 +155,7 @@ let alloc_record_st t st ~type_id ~data_bytes =
     invalid_arg "Store.alloc_record: type id out of range";
   let bytes = Layout_rt.record_header_bytes + data_bytes in
   let addr = Page_manager.alloc (current_mgr st) ~bytes in
+  check_limits t;
   st.t_records <- st.t_records + 1;
   st.t_bytes <- st.t_bytes + bytes;
   let p, off = base t addr in
@@ -120,6 +166,7 @@ let alloc_array_st alloc t st ~type_id ~elem_bytes ~length =
   if length < 0 then invalid_arg "Store.alloc_array: negative length";
   let bytes = Layout_rt.array_header_bytes + (elem_bytes * length) in
   let addr = alloc (current_mgr st) ~bytes in
+  check_limits t;
   st.t_records <- st.t_records + 1;
   st.t_bytes <- st.t_bytes + bytes;
   let p, off = base t addr in

@@ -19,6 +19,29 @@ type thread = int
 val create : ?page_bytes:int -> unit -> t
 val pool : t -> Page_pool.t
 
+(** {2 Resource limits (multi-tenant service mode)} *)
+
+type quota_kind = Q_pages | Q_heap_bytes
+
+exception Quota_exceeded of { kind : quota_kind; used : int; limit : int }
+(** Raised by an allocation whose page acquisition pushed the store past
+    a configured limit. The store may momentarily hold one page beyond
+    the quota, but no record is ever placed on it: the offending
+    allocation fails, and the whole run it belongs to fails with it
+    (through the parallel join, if any). Other stores are untouched. *)
+
+val set_limits : t -> ?max_live_pages:int -> ?max_native_bytes:int -> unit -> unit
+(** Install per-store caps checked on every allocation. A limit of [0]
+    (the initial state) disables the corresponding check; omitted
+    arguments leave the current setting unchanged. *)
+
+val quota_kind_label : quota_kind -> string
+(** ["pages"] or ["heap_bytes"] — the structured admission-error codes
+    the service layer reports. *)
+
+val quota_message : exn -> string option
+(** [Some "quota exceeded: ..."] for {!Quota_exceeded}, [None] otherwise. *)
+
 (** {2 Threads and iterations} *)
 
 val register_thread : ?parent:thread -> t -> thread -> unit

@@ -1,0 +1,128 @@
+(* Per-tenant admission accounting.
+
+   Admission is reservation-based: a submission asks for a page count
+   and a native-byte budget (or the server defaults), and the tenant's
+   reservation ledger must stay within its quota for the job to be
+   admitted. The runtime then enforces exactly what admission reserved —
+   the job's store gets the reservation as its
+   {!Pagestore.Store.set_limits} caps — so the admitted set can never
+   collectively exceed the quota even if every job runs to its cap, and
+   one tenant's churn cannot OOM another (each run owns its store and
+   its iteration-scoped page reclamation).
+
+   All mutation happens under the scheduler's lock; a tenant record
+   carries no mutex of its own. *)
+
+type quota = {
+  q_pages : int;  (* max concurrently reserved live pages *)
+  q_heap_bytes : int;  (* max concurrently reserved native bytes *)
+  q_inflight : int;  (* max queued + running jobs *)
+}
+
+let default_quota = { q_pages = 1024; q_heap_bytes = 64 lsl 20; q_inflight = 16 }
+
+type t = {
+  name : string;
+  quota : quota;
+  mutable pages_reserved : int;
+  mutable heap_reserved : int;
+  mutable inflight : int;
+  mutable peak_pages : int;  (* high-water reservation marks *)
+  mutable peak_heap : int;
+  mutable peak_inflight : int;
+  mutable jobs_done : int;
+  mutable jobs_failed : int;
+  mutable jobs_rejected : int;
+  mutable total_steps : int;
+  mutable total_records : int;
+  mutable total_run_ns : int;
+  tracer : Obs.Tracer.t;
+      (* Per-tenant service-event lane: job_submit/job_start/job_done
+         instants and a latency histogram, exported as a Chrome trace.
+         Driven only by scheduler/runner threads of one domain. *)
+}
+
+let create name quota =
+  {
+    name;
+    quota;
+    pages_reserved = 0;
+    heap_reserved = 0;
+    inflight = 0;
+    peak_pages = 0;
+    peak_heap = 0;
+    peak_inflight = 0;
+    jobs_done = 0;
+    jobs_failed = 0;
+    jobs_rejected = 0;
+    total_steps = 0;
+    total_records = 0;
+    total_run_ns = 0;
+    tracer = Obs.Tracer.create ();
+  }
+
+let reject code detail used limit =
+  { Proto.rj_code = code; rj_detail = detail; rj_used = used; rj_limit = limit }
+
+(* Reserve [pages]/[heap] for one job, or explain why not. The caller
+   holds the scheduler lock. *)
+let admit t ~pages ~heap =
+  if t.inflight >= t.quota.q_inflight then
+    Error
+      (reject "tenant_inflight"
+         (Printf.sprintf "tenant %s at its in-flight job cap" t.name)
+         t.inflight t.quota.q_inflight)
+  else if t.pages_reserved + pages > t.quota.q_pages then
+    Error
+      (reject "quota_pages"
+         (Printf.sprintf "tenant %s page quota would be exceeded by a %d-page reservation"
+            t.name pages)
+         t.pages_reserved t.quota.q_pages)
+  else if t.heap_reserved + heap > t.quota.q_heap_bytes then
+    Error
+      (reject "quota_heap"
+         (Printf.sprintf
+            "tenant %s heap budget would be exceeded by a %d-byte reservation" t.name heap)
+         t.heap_reserved t.quota.q_heap_bytes)
+  else begin
+    t.pages_reserved <- t.pages_reserved + pages;
+    t.heap_reserved <- t.heap_reserved + heap;
+    t.inflight <- t.inflight + 1;
+    t.peak_pages <- max t.peak_pages t.pages_reserved;
+    t.peak_heap <- max t.peak_heap t.heap_reserved;
+    t.peak_inflight <- max t.peak_inflight t.inflight;
+    Ok ()
+  end
+
+let release t ~pages ~heap =
+  t.pages_reserved <- t.pages_reserved - pages;
+  t.heap_reserved <- t.heap_reserved - heap;
+  t.inflight <- t.inflight - 1;
+  assert (t.pages_reserved >= 0 && t.heap_reserved >= 0 && t.inflight >= 0)
+
+let note_rejected t = t.jobs_rejected <- t.jobs_rejected + 1
+
+let note_done t ~steps ~records ~run_ns =
+  t.jobs_done <- t.jobs_done + 1;
+  t.total_steps <- t.total_steps + steps;
+  t.total_records <- t.total_records + records;
+  t.total_run_ns <- t.total_run_ns + run_ns
+
+let note_failed t = t.jobs_failed <- t.jobs_failed + 1
+
+let report t =
+  {
+    Proto.tn_name = t.name;
+    tn_done = t.jobs_done;
+    tn_failed = t.jobs_failed;
+    tn_rejected = t.jobs_rejected;
+    tn_inflight = t.inflight;
+    tn_pages_reserved = t.pages_reserved;
+    tn_heap_reserved = t.heap_reserved;
+    tn_peak_pages = t.peak_pages;
+    tn_peak_heap = t.peak_heap;
+    tn_quota_pages = t.quota.q_pages;
+    tn_quota_heap = t.quota.q_heap_bytes;
+    tn_total_steps = t.total_steps;
+    tn_total_records = t.total_records;
+  }

@@ -336,6 +336,119 @@ let test_osr_loop_entry () =
   Alcotest.(check int) "no-osr steps" steps1 steps3;
   Alcotest.(check int) "no-osr never OSR-enters" 0 st3.Stats.osr_entries
 
+(* ROADMAP item 2 residue, pinned: an IC-drift recompile does not
+   refresh OSR variants. A loop-entry variant whose monomorphized site
+   drifts keeps its stale snapshot and *delegates* every drifted
+   dispatch to the interpreter — correct, never a deopt — while the
+   method-entry code re-snapshots exactly once. Any future OSR-refresh
+   change must keep the outcome bit-exact and can only lower the
+   delegation cost; this test is the baseline it diffs against.
+
+   One method, one virtual site, receiver selected by iteration number:
+   [A] for i<60, [B2] after. The method is called once with n=120, so
+   the only route into compiled code is OSR (back-edge threshold
+   16*hot = 32 < 60), and the variant snapshots the site warm on [A].
+   [fb_mono] marks [combine] CHA-unsafe-but-forced mono so the drifted
+   site delegates instead of deoptimizing. At i=60 the first [B2]
+   dispatch delegates and re-warms the live cache word; at i=61 the
+   drift (live word != snapshot) triggers the one bounded recompile;
+   every later dispatch keeps delegating off the stale snapshot. *)
+let drift_osr_program =
+  let combine_m ret_v =
+    let m = B.create "combine" ~ret:int_t in
+    let b = B.entry m in
+    let r = B.fresh m int_t in
+    B.const_i b r ret_v;
+    B.ret b (Some r);
+    B.finish m
+  in
+  let a_cls = B.cls "A" ~methods:[ empty_init (); combine_m 1 ] in
+  let b_cls = B.cls "B2" ~super:"A" ~methods:[ empty_init (); combine_m 2 ] in
+  let loop =
+    let m =
+      B.create ~static:true "loop"
+        ~params:[ ("a", Jtype.Ref "A"); ("b", Jtype.Ref "A"); ("n", int_t) ]
+        ~ret:int_t
+    in
+    let b0 = B.entry m in
+    let hdr = B.block m in
+    let body = B.block m in
+    let early = B.block m in
+    let late = B.block m in
+    let callb = B.block m in
+    let exit_ = B.block m in
+    let i = B.fresh m int_t in
+    let acc = B.fresh m int_t in
+    let one = B.fresh m int_t in
+    let flip = B.fresh m int_t in
+    let c = B.fresh m int_t in
+    let is_early = B.fresh m int_t in
+    let recv = B.fresh m (Jtype.Ref "A") in
+    let r = B.fresh m int_t in
+    B.const_i b0 i 0;
+    B.const_i b0 acc 0;
+    B.const_i b0 one 1;
+    B.const_i b0 flip 60;
+    B.jump b0 hdr;
+    B.binop hdr c Ir.Lt i "n";
+    B.branch hdr c ~then_:body ~else_:exit_;
+    B.binop body is_early Ir.Lt i flip;
+    B.branch body is_early ~then_:early ~else_:late;
+    B.move early ~dst:recv ~src:"a";
+    B.jump early callb;
+    B.move late ~dst:recv ~src:"b";
+    B.jump late callb;
+    B.call callb ~ret:r ~recv ~kind:Ir.Virtual ~cls:"A" ~name:"combine" [];
+    B.binop callb acc Ir.Add acc r;
+    B.binop callb i Ir.Add i one;
+    B.jump callb hdr;
+    B.ret exit_ (Some acc);
+    B.finish m
+  in
+  let main =
+    let m = B.create ~static:true "main" ~ret:int_t in
+    let b = B.entry m in
+    let a = B.fresh m (Jtype.Ref "A") in
+    let bb = B.fresh m (Jtype.Ref "A") in
+    let n = B.fresh m int_t in
+    let r = B.fresh m int_t in
+    B.new_obj b a "A";
+    B.call b ~recv:a ~kind:Ir.Special ~cls:"A" ~name:ctor [];
+    B.new_obj b bb "B2";
+    B.call b ~recv:bb ~kind:Ir.Special ~cls:"B2" ~name:ctor [];
+    B.const_i b n 120;
+    B.call b ~ret:r ~kind:Ir.Static ~cls:"Main" ~name:"loop" [ a; bb; n ];
+    B.ret b (Some r);
+    B.finish m
+  in
+  Program.make ~entry:("Main", "main")
+    [ a_cls; b_cls; B.cls "Main" ~methods:[ loop; main ] ]
+
+let test_osr_stale_after_ic_drift () =
+  let is_data _ = false in
+  let fb = { Facade_vm.Compile_tier.fb_mono = [ "combine" ]; fb_leaves = [] } in
+  let run ~tier2 =
+    let o =
+      I.run_object ~is_data ~quicken:true ~tier2 ~tier2_hot:2 ~tier2_feedback:fb
+        drift_osr_program
+    in
+    ( (match o.I.result with Some v -> Facade_vm.Value.to_string v | None -> "-"),
+      Stats.output_lines o.I.stats,
+      o.I.stats.Stats.steps,
+      o.I.stats )
+  in
+  let r1, out1, steps1, _ = run ~tier2:false in
+  let r2, out2, steps2, st2 = run ~tier2:true in
+  (* 60 iterations of A.combine=1 plus 60 of B2.combine=2. *)
+  Alcotest.(check string) "result" "180" r2;
+  Alcotest.(check string) "tier1 = tier2 result" r1 r2;
+  Alcotest.(check (list string)) "output" out1 out2;
+  Alcotest.(check int) "steps" steps1 steps2;
+  Alcotest.(check bool) "entered via OSR" true (st2.Stats.osr_entries > 0);
+  Alcotest.(check int) "drift recompiles exactly once" 1 st2.Stats.tier2_recompiles;
+  Alcotest.(check int) "stale variant delegates, never deopts" 0
+    st2.Stats.tier2_deopts
+
 (* A tier built with [make_tier] persists compiled code across runs of
    the same linked program — the warm-service pattern the benchmarks
    use. The second run must stay observably identical to tier 1 while
@@ -423,6 +536,8 @@ let () =
         [
           Alcotest.test_case "osr: loop entry mid-call, deopt inside" `Quick
             test_osr_loop_entry;
+          Alcotest.test_case "osr: stale variant delegates after IC-drift recompile"
+            `Quick test_osr_stale_after_ic_drift;
           Alcotest.test_case "polymorphic receiver" `Quick test_polymorphic_deopt;
           Alcotest.test_case "monitor region retires the method" `Quick
             test_monitor_deopt_and_retire;
